@@ -1,0 +1,81 @@
+"""Ablation — left/right orientation randomization.
+
+Each integrated webpage pins one version to the left iframe. Spammers carry
+a position habit (the classic "always pick Left" clicker), so a fixed
+layout hands the left-pinned version a systematic edge on otherwise-equal
+pairs. Randomizing the stored orientation per participant
+(``Campaign.prepare(randomize_orientation=True)``) folds the habit
+symmetrically. This bench measures the net bias with and without
+counterbalancing, as a function of the channel's spammer share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import format_table
+from repro.crowd.judgment import ThurstoneChoiceModel
+from repro.crowd.workers import PopulationMix, generate_population
+
+SPAM_SHARES = (0.1, 0.3, 1.0)
+WORKERS = 400
+REPEATS = 2
+
+
+def net_bias(spam_share: float, randomize: bool, seed: int = 2019) -> float:
+    """Net answers favouring the left-pinned version per 100 decisions."""
+    mix = PopulationMix(
+        trustworthy=round(1.0 - spam_share, 6), distracted=0.0, spammer=spam_share
+    )
+    population = generate_population(WORKERS, mix, seed=seed)
+    model = ThurstoneChoiceModel()
+    rng = np.random.default_rng(seed)
+    score = decided = 0
+    for index, worker in enumerate(population):
+        for repeat in range(REPEATS):
+            a_on_left = True if not randomize else bool((index + repeat) % 2)
+            answer = model.choose(0.0, 0.0, worker, rng=rng)
+            if answer == "same":
+                continue
+            decided += 1
+            chose_a = (answer == "left") == a_on_left
+            score += 1 if chose_a else -1
+    return 100.0 * score / decided if decided else 0.0
+
+
+def test_ablation_orientation(benchmark, report_writer):
+    benchmark(net_bias, 0.3, True)
+
+    rows = []
+    biases = {}
+    for spam_share in SPAM_SHARES:
+        fixed = net_bias(spam_share, randomize=False)
+        randomized = net_bias(spam_share, randomize=True)
+        biases[spam_share] = (fixed, randomized)
+        rows.append(
+            [
+                f"{100 * spam_share:.0f}%",
+                f"{fixed:+.1f}",
+                f"{randomized:+.1f}",
+            ]
+        )
+    report_writer(
+        "ablation_orientation",
+        format_table(
+            [
+                "spammer share",
+                "fixed layout bias (per 100 decisions)",
+                "randomized orientation",
+            ],
+            rows,
+        )
+        + "\n\nPositive numbers favour whichever version happens to sit in "
+        "the left iframe — an artifact, not a preference. Counterbalancing "
+        "removes it without touching the quality-control stack.",
+    )
+
+    # Bias grows with the spammer share under a fixed layout...
+    assert biases[1.0][0] > biases[0.3][0] > biases[0.1][0] - 1
+    assert biases[1.0][0] > 10
+    # ...and randomization crushes it at every share.
+    for fixed, randomized in biases.values():
+        assert abs(randomized) < max(abs(fixed) / 2, 3.0)

@@ -1,0 +1,90 @@
+"""Extension — HTTP/1.1 vs HTTP/2 user-perceived load time.
+
+The paper's §IV-C closing remark made quantitative: simulate each
+protocol's object fetch timing over several network profiles, replay both
+as Kaleidoscope versions, and have the crowd judge "ready to use first".
+
+Expected shape: HTTP/2's multiplexing lands the main text earlier on
+high-latency links (many small objects vs six queued connections), so both
+the objective Speed Index and the crowd preference favour h2 there, with
+the gap shrinking toward parity on fast links.
+"""
+
+import pytest
+
+from repro.core.reporting import format_table
+from repro.experiments.http_versions import (
+    VERSION_H1,
+    VERSION_H2,
+    HttpVersionsExperiment,
+)
+from repro.net.profiles import get_profile
+
+PROFILES = ("3g-slow", "3g", "cable", "fiber")
+
+
+@pytest.fixture(scope="module")
+def crowd_outcome():
+    return HttpVersionsExperiment(seed=2019).run()
+
+
+def test_extension_http_versions(benchmark, crowd_outcome, report_writer):
+    benchmark(HttpVersionsExperiment(seed=1).build_schedules)
+
+    rows = []
+    gaps = {}
+    for profile_name in PROFILES:
+        experiment = HttpVersionsExperiment(seed=0, profile=get_profile(profile_name))
+        schedules = experiment.build_schedules()
+        metrics = experiment.measure(schedules)
+        h1_si = metrics[VERSION_H1].speed_index
+        h2_si = metrics[VERSION_H2].speed_index
+        gaps[profile_name] = h1_si - h2_si
+        rows.append(
+            [
+                profile_name,
+                round(dict(schedules["http1"].entries)["#mw-content-text"]),
+                round(dict(schedules["http2"].entries)["#mw-content-text"]),
+                round(h1_si),
+                round(h2_si),
+                f"{100 * (1 - h2_si / h1_si):.0f}%" if h1_si else "0%",
+            ]
+        )
+    objective = format_table(
+        [
+            "profile",
+            "h1 main-text (ms)",
+            "h2 main-text (ms)",
+            "h1 Speed Index",
+            "h2 Speed Index",
+            "h2 gain",
+        ],
+        rows,
+    )
+    raw = crowd_outcome.raw_tally.percentages
+    controlled = crowd_outcome.controlled_tally.percentages
+    crowd = format_table(
+        ["condition", "h1 (%)", "Same (%)", "h2 (%)"],
+        [
+            ["raw", round(raw["left"], 1), round(raw["same"], 1), round(raw["right"], 1)],
+            [
+                "quality control",
+                round(controlled["left"], 1),
+                round(controlled["same"], 1),
+                round(controlled["right"], 1),
+            ],
+        ],
+    )
+    report_writer(
+        "extension_http_versions",
+        "Objective replay metrics per network profile:\n"
+        + objective
+        + "\n\nCrowd verdict over 3g (which version seems ready to use first?):\n"
+        + crowd,
+    )
+
+    # -- shape assertions -------------------------------------------------
+    assert gaps["3g-slow"] > gaps["3g"] > gaps["fiber"] - 1
+    assert gaps["3g"] > 0  # h2 wins where latency hurts
+    assert crowd_outcome.crowd_prefers_h2
+    assert crowd_outcome.h2_speed_index_gain > 0.2

@@ -1,0 +1,76 @@
+"""Extension — recruitment speedup via rewards and parallel platforms.
+
+§IV-B note 3: Kaleidoscope can be sped up "via higher rewards and/or via
+additional crowdsourcing websites and parallel campaigns". This bench
+sweeps both knobs: time-to-100-participants for each (reward, channel-set)
+combination, with cost.
+
+Expected shape: rewards speed things up sublinearly (the pay-elasticity
+exponent), adding a second platform roughly halves completion time at equal
+spend, and the free volunteer channel contributes little at this scale.
+"""
+
+import pytest
+
+from repro.core.reporting import format_table
+from repro.crowd.multiplatform import (
+    FIGURE_EIGHT_CHANNEL,
+    MTURK_CHANNEL,
+    VOLUNTEER_CHANNEL,
+    ParallelRecruiter,
+    default_channel,
+    speedup_matrix,
+)
+from repro.sim.clock import SimulationEnvironment
+
+REWARDS = (0.05, 0.10, 0.20, 0.40)
+CHANNEL_SETS = (
+    (FIGURE_EIGHT_CHANNEL,),
+    (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL),
+    (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL, VOLUNTEER_CHANNEL),
+)
+
+
+def recruit_once():
+    env = SimulationEnvironment()
+    recruiter = ParallelRecruiter(
+        env,
+        [default_channel(FIGURE_EIGHT_CHANNEL), default_channel(MTURK_CHANNEL)],
+        seed=0,
+    )
+    return recruiter.run(100)
+
+
+def test_extension_parallel_platforms(benchmark, report_writer):
+    benchmark(recruit_once)
+
+    rows = speedup_matrix(
+        participants_needed=100, rewards=REWARDS, channel_sets=CHANNEL_SETS, seed=2019
+    )
+    table_rows = [
+        [
+            f"${row['reward_usd']:.2f}",
+            row["channels"],
+            round(row["hours"], 1),
+            f"${row['cost_usd']:.2f}",
+        ]
+        for row in rows
+    ]
+    report_writer(
+        "extension_parallel_platforms",
+        format_table(["reward", "channels", "hours to 100", "cost"], table_rows),
+    )
+
+    by_key = {(r["reward_usd"], r["channels"]): r for r in rows}
+    single = FIGURE_EIGHT_CHANNEL
+    double = f"{FIGURE_EIGHT_CHANNEL}+{MTURK_CHANNEL}"
+
+    # Higher reward -> faster, at every channel set.
+    for channels in {r["channels"] for r in rows}:
+        assert by_key[(0.40, channels)]["hours"] < by_key[(0.05, channels)]["hours"]
+    # Second platform -> materially faster at equal reward.
+    for reward in REWARDS:
+        assert by_key[(reward, double)]["hours"] < by_key[(reward, single)]["hours"] * 0.8
+    # Sublinear pay elasticity: 8x the reward buys less than 8x the speed.
+    ratio = by_key[(0.05, single)]["hours"] / by_key[(0.40, single)]["hours"]
+    assert 1.5 < ratio < 8.0

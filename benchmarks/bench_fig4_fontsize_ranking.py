@@ -1,0 +1,87 @@
+"""Figure 4 — font-size ranking distributions.
+
+Regenerates the three panels (Kaleidoscope raw / with quality control /
+in-lab) at the paper's scale: 100 crowd participants, 50 in-lab, five font
+sizes, C(5,2)=10 comparisons plus one control pair per participant.
+
+Shape checks (paper §IV-A):
+* 12pt is the modal rank-"A" choice in all three panels;
+* the quality-controlled panel sits at least as close to in-lab as raw does;
+* extreme sizes (18/22pt) almost never rank best after quality control.
+"""
+
+import pytest
+
+from repro.core.reporting import format_ranking_distribution
+from repro.experiments.fontsize import FontSizeExperiment, version_id_for
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return FontSizeExperiment(seed=2019).run()
+
+
+def test_fig4_ranking_distributions(benchmark, outcome, report_writer):
+    # Benchmark the analysis step (rankings from 100x11 pairwise answers).
+    from repro.core.analysis import ranking_distribution
+    from repro.experiments.fontsize import QUESTION
+
+    crowd = outcome.crowd_result
+    versions = [version_id_for(s) for s in (10, 12, 14, 18, 22)]
+    benchmark(
+        ranking_distribution, crowd.raw_results, QUESTION.question_id, versions
+    )
+
+    sections = []
+    for title, ranking in (
+        ("Figure 4(a) Kaleidoscope (raw)", outcome.raw_ranking),
+        ("Figure 4(b) Kaleidoscope (quality control)", outcome.controlled_ranking),
+        ("Figure 4(c) In-lab testing", outcome.inlab_ranking),
+    ):
+        sections.append(format_ranking_distribution(ranking, title))
+
+    # Bradley-Terry conclusion: latent quality scores fitted to the
+    # quality-controlled pairwise answers (the "final Web QoE result").
+    from repro.core.btmodel import fit_from_results
+    from repro.core.reporting import format_table
+
+    fit = fit_from_results(
+        crowd.controlled_results, QUESTION.question_id, versions
+    )
+    bt_rows = [
+        [version, round(fit.scores[version], 3), round(fit.abilities[version], 2)]
+        for version in fit.ranking()
+    ]
+    sections.append(
+        "Bradley-Terry scores (quality-controlled crowd):\n"
+        + format_table(["version", "BT score", "ability (log)"], bt_rows)
+    )
+    report_writer("fig4_fontsize_ranking", "\n\n".join(sections))
+
+    # The fitted model must agree with the readability ground truth.
+    from repro.crowd.judgment import FontReadabilityModel
+
+    readability = FontReadabilityModel()
+    truth = sorted(
+        (10, 12, 14, 18, 22), key=lambda s: -readability.utility(s)
+    )
+    assert fit.ranking() == [version_id_for(s) for s in truth]
+
+    # -- paper shape assertions -----------------------------------------
+    twelve = version_id_for(12)
+    assert outcome.raw_ranking.modal_version_at_rank("A") == twelve
+    assert outcome.controlled_ranking.modal_version_at_rank("A") == twelve
+    assert outcome.inlab_ranking.modal_version_at_rank("A") == twelve
+
+    raw_gap = abs(
+        outcome.raw_ranking.percentage(twelve, "A")
+        - outcome.inlab_ranking.percentage(twelve, "A")
+    )
+    controlled_gap = abs(
+        outcome.controlled_ranking.percentage(twelve, "A")
+        - outcome.inlab_ranking.percentage(twelve, "A")
+    )
+    assert controlled_gap <= raw_gap + 10  # QC at least as close (noise margin)
+
+    for extreme in (version_id_for(18), version_id_for(22)):
+        assert outcome.controlled_ranking.percentage(extreme, "A") < 15

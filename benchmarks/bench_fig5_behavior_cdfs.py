@@ -1,0 +1,59 @@
+"""Figure 5 — tester-behaviour CDFs.
+
+Regenerates the three CDF panels (active tabs, created tabs, time on task)
+for Kaleidoscope raw / quality-controlled / in-lab, on the same campaign as
+Figure 4.
+
+Shape checks (paper §IV-A):
+* the longest raw comparison (~3.3 min) shrinks after quality control
+  (~2.5) and is shorter still in-lab (~1.9);
+* in-lab testers create fewer tabs than the raw crowd;
+* distributions of kept crowd workers resemble in-lab more than raw does.
+"""
+
+import pytest
+
+from repro.core.analysis import behavior_cdfs
+from repro.core.reporting import format_cdf
+from repro.experiments.fontsize import FontSizeExperiment
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return FontSizeExperiment(seed=2019).run()
+
+
+def test_fig5_behavior_cdfs(benchmark, outcome, report_writer):
+    benchmark(behavior_cdfs, outcome.crowd_result.raw_results)
+
+    sections = []
+    panels = (
+        ("raw", outcome.raw_behavior),
+        ("quality control", outcome.controlled_behavior),
+        ("in-lab", outcome.inlab_behavior),
+    )
+    for figure, attribute, label in (
+        ("Figure 5(a) active tabs", "active_tabs", "tabs"),
+        ("Figure 5(b) created tabs", "created_tabs", "tabs"),
+        ("Figure 5(c) time on task", "time_on_task_minutes", "minutes"),
+    ):
+        block = [figure]
+        for name, behavior in panels:
+            cdf = getattr(behavior, attribute)
+            block.append(f"-- {name} (max={cdf.maximum:.2f}) --")
+            block.append(format_cdf(cdf, label, points=6))
+        sections.append("\n".join(block))
+    report_writer("fig5_behavior_cdfs", "\n\n".join(sections))
+
+    # -- paper shape assertions -----------------------------------------
+    raw_max = outcome.raw_behavior.time_on_task_minutes.maximum
+    controlled_max = outcome.controlled_behavior.time_on_task_minutes.maximum
+    inlab_max = outcome.inlab_behavior.time_on_task_minutes.maximum
+    assert inlab_max <= controlled_max <= raw_max
+    assert raw_max > 2.6  # the long tail exists pre-filtering
+    assert inlab_max <= 2.0
+
+    assert (
+        outcome.inlab_behavior.created_tabs.quantile(0.9)
+        <= outcome.raw_behavior.created_tabs.quantile(0.9)
+    )

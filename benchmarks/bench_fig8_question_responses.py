@@ -1,0 +1,66 @@
+"""Figure 8 — responses of all three questions in Kaleidoscope.
+
+Regenerates the per-question Left/Same/Right splits for the expand-button
+campaign. Paper:
+
+* question A (overall appeal): ~50% answer Same — the edit is too small to
+  change the page's look and feel;
+* question B (button looks better): Same (45%) narrowly edges the variant
+  (42%), original far behind;
+* question C (button more visible): variant 46 vs original 14.
+"""
+
+import pytest
+
+from repro.core.analysis import tally_question
+from repro.core.reporting import format_question_tally
+from repro.experiments.expand_button import (
+    QUESTION_A,
+    QUESTION_B,
+    QUESTION_C,
+    QUESTIONS,
+    VERSION_A,
+    VERSION_B,
+    ExpandButtonExperiment,
+)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return ExpandButtonExperiment(seed=2019).run()
+
+
+def test_fig8_question_responses(benchmark, outcome, report_writer):
+    results = outcome.kaleidoscope_result.raw_results
+    benchmark(tally_question, results, QUESTION_A.question_id, VERSION_A, VERSION_B)
+
+    sections = []
+    for question in QUESTIONS:
+        tally = outcome.tallies[question.question_id]
+        sections.append(
+            f"{question.text}\n"
+            + format_question_tally(tally, "Original (A)", "Variant (B)")
+        )
+    report_writer("fig8_question_responses", "\n\n".join(sections))
+
+    # -- paper shape assertions -----------------------------------------
+    appeal = outcome.tallies[QUESTION_A.question_id]
+    looks = outcome.tallies[QUESTION_B.question_id]
+    visible = outcome.tallies[QUESTION_C.question_id]
+
+    # A: Same dominates.
+    assert appeal.percentages["same"] >= max(
+        appeal.percentages["left"], appeal.percentages["right"]
+    )
+    # B: variant competitive with Same, original clearly behind.
+    assert looks.percentages["right"] > looks.percentages["left"]
+    assert looks.percentages["left"] < 30
+    # C: variant wins big.
+    assert visible.percentages["right"] > 2 * visible.percentages["left"]
+    # Monotone discrimination: the bigger the asked-about difference, the
+    # fewer Same answers.
+    assert (
+        appeal.percentages["same"]
+        >= looks.percentages["same"]
+        >= visible.percentages["same"] - 8
+    )

@@ -1,0 +1,38 @@
+"""Table I — the test-parameter schema.
+
+Regenerates the Table-I document for the paper's font-size experiment and
+benchmarks schema validation + JSON round-trip, the hot path of the paper's
+"Web interface to help users generate such format test parameters".
+"""
+
+from repro.core.parameters import TestParameters
+from repro.core.reporting import format_table
+from repro.experiments.fontsize import build_parameters
+
+
+def render_table_one(parameters: TestParameters) -> str:
+    rows = [
+        ["test_id", "string", parameters.test_id],
+        ["webpage_num", "int", parameters.webpage_num],
+        ["test_description", "string", parameters.test_description[:48] + "..."],
+        ["participant_num", "int", parameters.participant_num],
+        ["question", "array", f"{len(parameters.question)} question(s)"],
+        ["webpages", "array", f"{len(parameters.webpages)} version(s)"],
+    ]
+    for spec in parameters.webpages[:2]:
+        rows.append(["  web_path", "string", spec.web_path])
+        rows.append(["  web_page_load", "int", spec.web_page_load])
+        rows.append(["  web_main_file", "string", spec.web_main_file])
+        rows.append(["  web_description", "string", spec.web_description])
+    return format_table(["Notation", "Type", "Value (font-size test)"], rows)
+
+
+def test_table1_schema_round_trip(benchmark, report_writer):
+    parameters = build_parameters()
+
+    def round_trip():
+        return TestParameters.from_json(parameters.to_json())
+
+    restored = benchmark(round_trip)
+    assert restored == parameters
+    report_writer("table1_parameters", render_table_one(parameters))

@@ -1,0 +1,30 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation: it computes the same rows/series the paper reports, prints them
+(visible with ``pytest benchmarks/ --benchmark-only -s``), appends them to
+``benchmarks/reports/<name>.txt`` for EXPERIMENTS.md, asserts the paper's
+qualitative shape, and times the underlying pipeline with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Returns write(name, text): stores a figure's regenerated data."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> Path:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text.rstrip() + "\n", encoding="utf-8")
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        return path
+
+    return write

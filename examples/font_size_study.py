@@ -1,0 +1,65 @@
+"""Experiment 1: "What is the best font size for online reading?"
+
+Replicates §IV-A of the paper: the rock-hyrax Wikipedia article at five
+main-text font sizes, compared pairwise by a crowdsourced pool and by an
+in-lab pool, with and without quality control. Prints the Figure 4 ranking
+matrices and the Figure 5 behaviour CDF summaries.
+
+Run: python examples/font_size_study.py  [--participants N]
+"""
+
+import argparse
+
+from repro.core.reporting import format_cdf, format_ranking_distribution
+from repro.experiments.fontsize import FontSizeExperiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--participants", type=int, default=100,
+                        help="crowd participants (paper: 100)")
+    parser.add_argument("--inlab", type=int, default=50,
+                        help="in-lab participants (paper: 50)")
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    experiment = FontSizeExperiment(seed=args.seed)
+    outcome = experiment.run(
+        crowd_participants=args.participants, inlab_participants=args.inlab
+    )
+
+    print("=" * 70)
+    print("Figure 4 — ranking distributions (percent of participants per rank)")
+    print("=" * 70)
+    for title, ranking in (
+        ("(a) Kaleidoscope (raw)", outcome.raw_ranking),
+        ("(b) Kaleidoscope (quality control)", outcome.controlled_ranking),
+        ("(c) In-lab testing", outcome.inlab_ranking),
+    ):
+        print()
+        print(format_ranking_distribution(ranking, title))
+
+    raw_top, controlled_top, inlab_top = outcome.top_choice_agreement()
+    print(f"\nModal rank-A version: raw={raw_top}  qc={controlled_top}  inlab={inlab_top}")
+
+    print()
+    print("=" * 70)
+    print("Figure 5 — behaviour per side-by-side comparison")
+    print("=" * 70)
+    for label, behavior in (
+        ("Kaleidoscope (raw)", outcome.raw_behavior),
+        ("Kaleidoscope (quality control)", outcome.controlled_behavior),
+        ("In-lab testing", outcome.inlab_behavior),
+    ):
+        print(f"\n--- {label} ---")
+        print(format_cdf(behavior.time_on_task_minutes, "time on task (min)", points=6))
+        print(f"max time on task: {behavior.time_on_task_minutes.maximum:.2f} min")
+
+    print()
+    print(f"Crowd: {args.participants} workers in {outcome.crowd_duration_hours:.1f} h "
+          f"for ${outcome.crowd_cost_usd:.2f}")
+    print(f"In-lab: {args.inlab} participants over {outcome.inlab_duration_days:.1f} days")
+
+
+if __name__ == "__main__":
+    main()

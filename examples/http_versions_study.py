@@ -1,0 +1,75 @@
+"""Extension study: HTTP/1.1 vs HTTP/2, judged by the crowd.
+
+§IV-C's closing remark in runnable form: simulate each protocol's object
+fetch timing for the Wikipedia article over a chosen network profile, turn
+both into Kaleidoscope replay schedules, and ask 100 simulated workers
+which version "seems ready to use first". Prints the per-profile objective
+metrics and the crowd verdict.
+
+Run: python examples/http_versions_study.py [--profile 3g] [--participants 100]
+"""
+
+import argparse
+
+from repro.core.reporting import format_table
+from repro.experiments.http_versions import (
+    VERSION_H1,
+    VERSION_H2,
+    HttpVersionsExperiment,
+)
+from repro.net.profiles import PROFILES, get_profile
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="3g", choices=sorted(PROFILES))
+    parser.add_argument("--participants", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    experiment = HttpVersionsExperiment(
+        seed=args.seed, profile=get_profile(args.profile)
+    )
+    outcome = experiment.run(participants=args.participants)
+
+    print(f"Protocol replay schedules over '{args.profile}':")
+    print(f"  HTTP/1.1: {dict(outcome.schedule_h1.entries)}")
+    print(f"  HTTP/2:   {dict(outcome.schedule_h2.entries)}")
+
+    print("\nObjective visual metrics:")
+    print(format_table(
+        ["version", "TTFP (ms)", "ATF (ms)", "Speed Index", "PLT (ms)"],
+        [
+            [
+                "HTTP/1.1",
+                outcome.metrics_h1.time_to_first_paint_ms,
+                outcome.metrics_h1.above_the_fold_ms,
+                round(outcome.metrics_h1.speed_index),
+                outcome.metrics_h1.page_load_time_ms,
+            ],
+            [
+                "HTTP/2",
+                outcome.metrics_h2.time_to_first_paint_ms,
+                outcome.metrics_h2.above_the_fold_ms,
+                round(outcome.metrics_h2.speed_index),
+                outcome.metrics_h2.page_load_time_ms,
+            ],
+        ],
+    ))
+    print(f"HTTP/2 Speed-Index gain: {100 * outcome.h2_speed_index_gain:.0f}%")
+
+    print('\nCrowd verdict — "which version seems ready to use first?"')
+    for label, tally in (
+        ("raw", outcome.raw_tally),
+        ("quality control", outcome.controlled_tally),
+    ):
+        p = tally.percentages
+        print(f"  {label:<16} HTTP/1.1 {p['left']:5.1f}%   Same {p['same']:5.1f}%   "
+              f"HTTP/2 {p['right']:5.1f}%")
+    verdict = "prefers HTTP/2" if outcome.crowd_prefers_h2 else "does not prefer HTTP/2"
+    print(f"\nThe crowd {verdict} on this profile "
+          f"(p = {outcome.controlled_tally.preference_p_value():.2g}).")
+
+
+if __name__ == "__main__":
+    main()

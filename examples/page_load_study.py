@@ -1,0 +1,75 @@
+"""Experiment 3: which page region drives user-perceived load time?
+
+Replicates §IV-C: the Wikipedia article is replayed under two mirrored
+schedules — version A shows the navigation bar at 2s and the main text at
+4s; version B the reverse. Both finish all visual change at 4s, so the
+above-the-fold time is identical; Speed Index and the crowd's "ready to use
+first" answers are not. Prints the measured visual metrics and the Figure 9
+response splits.
+
+Run: python examples/page_load_study.py
+"""
+
+import argparse
+
+from repro.core.reporting import format_table
+from repro.experiments.pageload import (
+    VERSION_A,
+    VERSION_B,
+    PageLoadExperiment,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--participants", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    experiment = PageLoadExperiment(seed=args.seed)
+    outcome = experiment.run(participants=args.participants)
+
+    print("=" * 70)
+    print("Setup check — objective visual metrics of the two replays")
+    print("=" * 70)
+    rows = []
+    for label, metrics in (
+        ("A (nav 2s, main 4s)", outcome.metrics_a),
+        ("B (main 2s, nav 4s)", outcome.metrics_b),
+    ):
+        rows.append(
+            [
+                label,
+                metrics.time_to_first_paint_ms,
+                metrics.above_the_fold_ms,
+                round(metrics.speed_index),
+                metrics.page_load_time_ms,
+            ]
+        )
+    print(format_table(["version", "TTFP (ms)", "ATF (ms)", "Speed Index", "PLT (ms)"], rows))
+    print(f"\nEqual ATF premise holds: {outcome.atf_equal}")
+
+    print()
+    print("=" * 70)
+    print('Figure 9 — "Which version seems ready to use first?"')
+    print("=" * 70)
+    for label, tally in (
+        ("Raw", outcome.raw_tally),
+        ("Quality control", outcome.controlled_tally),
+    ):
+        percentages = tally.percentages
+        print(f"\n{label} (n={tally.total}):")
+        print(format_table(
+            ["answer", "percent"],
+            [
+                ["Version A (nav first)", round(percentages["left"], 1)],
+                ["Same", round(percentages["same"], 1)],
+                ["Version B (main first)", round(percentages["right"], 1)],
+            ],
+        ))
+    print("\nPaper: 46% chose B raw; 54% after quality control — main text")
+    print("content dominates perceived readiness even at equal ATF time.")
+
+
+if __name__ == "__main__":
+    main()

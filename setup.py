@@ -1,0 +1,7 @@
+"""Legacy-install shim: offline environments without the `wheel` package
+cannot build PEP 660 editable wheels, but `setup.py develop` still works
+(`pip install -e . --no-build-isolation --no-use-pep517`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Comparator baselines beyond classic A/B testing.
+
+:mod:`repro.baselines.eyeorg` models the paper's closest related system —
+Eyeorg (Varvello et al., CoNEXT 2016), the video-based crowdsourced
+web-QoE platform — so the intro's design claims ("videos give a consistent
+experience but limited visibility, and cannot be interacted with") can be
+measured instead of asserted.
+"""
+
+from repro.baselines.eyeorg import EyeorgStudy, VideoStimulus
+
+__all__ = ["EyeorgStudy", "VideoStimulus"]

@@ -1,0 +1,178 @@
+"""An Eyeorg-style video-based testing baseline.
+
+Eyeorg crowdsources web QoE "with showing videos of loading webpages" and
+collecting responses such as which page loaded faster. The paper positions
+Kaleidoscope against it on three axes, each of which this model makes
+operational:
+
+* **Consistency** — a video gives every participant the identical
+  experience regardless of their network. Kaleidoscope's replay has the
+  same property, so neither side pays a penalty here.
+* **Sequential viewing** — Eyeorg participants watch one video at a time
+  and compare against memory; Kaleidoscope's two iframes are simultaneous.
+  Modelled by the Thurstone ``sequential_penalty`` noise multiplier.
+* **No interaction / limited visibility** — a fixed-viewport video cannot
+  be scrolled, zoomed, or inspected, so *style* judgments (font size,
+  button looks) are made from a degraded stimulus. Modelled as an
+  additional style-noise multiplier on top of sequential viewing, and the
+  inability to re-examine (no revisits).
+
+Page-*load* questions survive the video medium well (the paper concedes
+Eyeorg measures uPLT fine); style questions degrade badly — which is the
+measured justification for building a replay-based tool at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.crowd.judgment import (
+    ANSWER_LEFT,
+    ANSWER_RIGHT,
+    ANSWER_SAME,
+    ThurstoneChoiceModel,
+    UPLTPerceptionModel,
+)
+from repro.crowd.workers import WorkerProfile
+from repro.errors import ValidationError
+from repro.util.rng import coerce_rng
+
+# Watching a fixed 480p video of a page vs inspecting the page itself:
+# fine typographic differences are heavily attenuated.
+STYLE_VISIBILITY_PENALTY = 2.5
+
+
+@dataclass(frozen=True)
+class VideoStimulus:
+    """One recorded page-load video."""
+
+    version_id: str
+    style_utility: float = 0.0
+    main_reveal_ms: float = 0.0
+    auxiliary_reveal_ms: float = 0.0
+    duration_ms: float = 8000.0
+
+    def __post_init__(self):
+        if self.duration_ms <= 0:
+            raise ValidationError("video duration must be positive")
+        if self.main_reveal_ms < 0 or self.auxiliary_reveal_ms < 0:
+            raise ValidationError("reveal times must be >= 0")
+
+
+@dataclass
+class EyeorgStudy:
+    """Sequential video-pair judgments by a simulated crowd."""
+
+    choice_model: ThurstoneChoiceModel = field(default_factory=ThurstoneChoiceModel)
+    perception_model: UPLTPerceptionModel = field(default_factory=UPLTPerceptionModel)
+    style_penalty: float = STYLE_VISIBILITY_PENALTY
+
+    def judge_style(
+        self,
+        first: VideoStimulus,
+        second: VideoStimulus,
+        worker: WorkerProfile,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """A style judgment from two sequentially-watched videos.
+
+        Noise compounds: sequential viewing (memory comparison) times the
+        video-visibility penalty. Spammers remain stimulus-blind.
+        """
+        generator = coerce_rng(rng, seed)
+        if worker.is_random_clicker:
+            return self.choice_model.choose(0.0, 0.0, worker, rng=generator)
+        sigma = (
+            worker.judgment_sigma
+            * self.choice_model.sequential_penalty
+            * self.style_penalty
+        )
+        noise = generator.normal(0.0, sigma) if sigma > 0 else 0.0
+        difference = (first.style_utility - second.style_utility) + noise
+        threshold = self.choice_model.same_threshold * (1.0 + 2.0 * worker.same_bias)
+        if abs(difference) < threshold:
+            return ANSWER_SAME
+        return ANSWER_LEFT if difference > 0 else ANSWER_RIGHT
+
+    def judge_pageload(
+        self,
+        first: VideoStimulus,
+        second: VideoStimulus,
+        worker: WorkerProfile,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """A "which loaded faster" judgment — the task Eyeorg is built for.
+
+        Videos show load progress directly, so only the sequential-memory
+        penalty applies (as extra perception noise), not the visibility one.
+        """
+        generator = coerce_rng(rng, seed)
+        boosted = UPLTPerceptionModel(
+            content_weight_mean=self.perception_model.content_weight_mean,
+            content_weight_spread=self.perception_model.content_weight_spread,
+            change_watcher_fraction=self.perception_model.change_watcher_fraction,
+            perception_noise_ms=self.perception_model.perception_noise_ms
+            * self.choice_model.sequential_penalty,
+        )
+        return boosted.choose_faster(
+            {"main": first.main_reveal_ms, "auxiliary": first.auxiliary_reveal_ms},
+            {"main": second.main_reveal_ms, "auxiliary": second.auxiliary_reveal_ms},
+            worker,
+            rng=generator,
+        )
+
+    # -- population-level accuracy ----------------------------------------
+
+    def style_accuracy(
+        self,
+        utility_gap: float,
+        workers: Sequence[WorkerProfile],
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        repeats: int = 3,
+    ) -> float:
+        """Fraction of decided style answers picking the better version."""
+        generator = coerce_rng(rng, seed)
+        better = VideoStimulus("better", style_utility=utility_gap)
+        worse = VideoStimulus("worse", style_utility=0.0)
+        correct = decided = 0
+        for worker in workers:
+            for _ in range(repeats):
+                answer = self.judge_style(better, worse, worker, rng=generator)
+                if answer == ANSWER_SAME:
+                    continue
+                decided += 1
+                if answer == ANSWER_LEFT:
+                    correct += 1
+        return correct / decided if decided else 0.0
+
+    def pageload_accuracy(
+        self,
+        fast_ms: float,
+        slow_ms: float,
+        workers: Sequence[WorkerProfile],
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        repeats: int = 3,
+    ) -> float:
+        """Fraction of decided load answers picking the faster version."""
+        if fast_ms >= slow_ms:
+            raise ValidationError("fast_ms must be < slow_ms")
+        generator = coerce_rng(rng, seed)
+        fast = VideoStimulus("fast", main_reveal_ms=fast_ms, auxiliary_reveal_ms=fast_ms)
+        slow = VideoStimulus("slow", main_reveal_ms=slow_ms, auxiliary_reveal_ms=slow_ms)
+        correct = decided = 0
+        for worker in workers:
+            for _ in range(repeats):
+                answer = self.judge_pageload(fast, slow, worker, rng=generator)
+                if answer == ANSWER_SAME:
+                    continue
+                decided += 1
+                if answer == ANSWER_LEFT:
+                    correct += 1
+        return correct / decided if decided else 0.0

@@ -1,0 +1,236 @@
+"""Command-line interface: run Kaleidoscope tests from spec files.
+
+The experimenter-facing surface a deployment would ship:
+
+* ``validate`` — check a Table-I JSON spec;
+* ``prepare`` — run the aggregator on a spec + a directory of saved pages
+  and export the generated artifacts (compressed versions, integrated
+  two-iframe pages) to a browsable directory;
+* ``run`` — execute a full simulated campaign (recruitment, extension flow,
+  quality control, analysis) and print the concluded tallies;
+* ``builder`` — emit the §III-B parameter-builder web form HTML;
+* ``replay`` — compute the visual metrics of one page under a schedule.
+
+Page directories follow the paper's layout: one folder per version, named
+by its ``web_path``, containing ``web_main_file`` plus its resources::
+
+    pages/
+      version-a/index.html
+      version-a/styles/site.css
+      version-b/index.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.campaign import Campaign
+from repro.core.extension import make_utility_judge
+from repro.core.parameters import TestParameters
+from repro.core.reporting import format_question_tally, format_table
+from repro.crowd.judgment import ThurstoneChoiceModel
+from repro.errors import ReproError
+from repro.html.parser import parse_html
+from repro.net.fetch import StaticResourceMap
+from repro.render.metrics import compute_visual_metrics
+from repro.render.paint import build_paint_timeline
+from repro.render.replay import schedule_from_parameter
+from repro.util import jsonutil
+
+BASE_URL = "http://test.local"
+
+
+def _load_spec(path: str) -> TestParameters:
+    return TestParameters.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def _load_documents(spec: TestParameters, pages_dir: str) -> Dict[str, object]:
+    root = Path(pages_dir)
+    documents = {}
+    for webpage in spec.webpages:
+        main = root / webpage.web_path / webpage.web_main_file
+        if not main.is_file():
+            raise ReproError(f"missing page file: {main}")
+        documents[webpage.web_path] = parse_html(main.read_text(encoding="utf-8"))
+    return documents
+
+
+def _prepare_campaign(args) -> Campaign:
+    spec = _load_spec(args.spec)
+    documents = _load_documents(spec, args.pages)
+    fetcher = StaticResourceMap.from_directory(args.pages, BASE_URL)
+    campaign = Campaign(seed=args.seed)
+    campaign.prepare(
+        spec,
+        documents,
+        fetcher=fetcher,
+        main_text_selector=args.main_text_selector,
+    )
+    return campaign
+
+
+def cmd_validate(args) -> int:
+    spec = _load_spec(args.spec)
+    print(f"OK: test {spec.test_id!r} with {spec.webpage_num} versions, "
+          f"{len(spec.question)} question(s), {spec.pair_count} comparison pairs, "
+          f"{spec.participant_num} participants.")
+    return 0
+
+
+def cmd_prepare(args) -> int:
+    campaign = _prepare_campaign(args)
+    out = Path(args.out)
+    written = campaign.storage.export_to_directory(out)
+    prepared = campaign.prepared
+    print(f"Prepared test {prepared.test_id!r}:")
+    print(f"  versions:         {len(prepared.webpages)}")
+    print(f"  integrated pages: {len(prepared.comparison_pairs())} "
+          f"(+{len(prepared.control_pairs())} control)")
+    print(f"  files exported:   {len(written)} under {out}")
+    return 0
+
+
+_SCHEDULERS = {"insertion": "InsertionSortScheduler", "merge": "MergeSortScheduler",
+               "bubble": "BubbleSortScheduler"}
+
+
+def cmd_run(args) -> int:
+    campaign = _prepare_campaign(args)
+    spec = campaign.prepared.parameters
+    utilities = _load_utilities(args.utilities, campaign)
+    judge = make_utility_judge(utilities, ThurstoneChoiceModel())
+    if args.adaptive:
+        from repro.core import scheduling
+
+        factory = getattr(scheduling, _SCHEDULERS[args.adaptive])
+        result = campaign.run_adaptive(judge, factory, reward_usd=args.reward)
+    else:
+        result = campaign.run(judge, reward_usd=args.reward)
+    print(f"Campaign {spec.test_id!r}: {result.participants} participants in "
+          f"{result.duration_days * 24:.1f} h for ${result.total_cost_usd:.2f}; "
+          f"quality control kept {len(result.controlled_results)}.")
+    version_ids = [v for v in campaign.prepared.version_ids if v != "__contrast__"]
+    for question in spec.question:
+        print(f"\n{question.text}")
+        for key, tally in sorted(result.controlled_analysis.tallies.items()):
+            if key[0] != question.question_id:
+                continue
+            print(f"\n  {tally.left_version} vs {tally.right_version}:")
+            block = format_question_tally(tally)
+            print("  " + block.replace("\n", "\n  "))
+        if len(version_ids) > 2:
+            from repro.core.btmodel import fit_from_results
+
+            fit = fit_from_results(
+                result.controlled_results, question.question_id, version_ids
+            )
+            print("\n  Bradley-Terry ranking (best first): "
+                  + " > ".join(fit.ranking()))
+    return 0
+
+
+def _load_utilities(path: Optional[str], campaign: Campaign) -> Dict[str, float]:
+    version_ids = campaign.prepared.version_ids
+    if path is None:
+        # Neutral utilities: the crowd answers mostly "Same" — useful for
+        # pipeline smoke runs without a perceptual model.
+        utilities = {v: 0.0 for v in version_ids}
+    else:
+        loaded = jsonutil.load_file(path)
+        missing = [v for v in version_ids if v != "__contrast__" and v not in loaded]
+        if missing:
+            raise ReproError(
+                f"utilities file missing versions: {', '.join(missing)}"
+            )
+        utilities = {v: float(loaded.get(v, 0.0)) for v in version_ids}
+    utilities.setdefault("__contrast__", -9.0)
+    return utilities
+
+
+def cmd_builder(args) -> int:
+    from repro.core.webui import render_builder_form
+
+    print(render_builder_form(questions=args.questions, webpages=args.webpages))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    page = parse_html(Path(args.page).read_text(encoding="utf-8"))
+    if args.schedule:
+        schedule = schedule_from_parameter(jsonutil.loads(args.schedule))
+    else:
+        schedule = schedule_from_parameter(args.load)
+    timeline = build_paint_timeline(page, schedule, seed=args.seed)
+    metrics = compute_visual_metrics(timeline)
+    rows = [[name, round(value, 1)] for name, value in metrics.as_dict().items()]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Kaleidoscope crowdsourced web-QoE testing"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    validate = sub.add_parser("validate", help="validate a Table-I spec file")
+    validate.add_argument("spec")
+    validate.set_defaults(func=cmd_validate)
+
+    prepare = sub.add_parser("prepare", help="aggregate a test and export artifacts")
+    prepare.add_argument("spec")
+    prepare.add_argument("pages", help="directory of saved page folders")
+    prepare.add_argument("out", help="output directory for generated artifacts")
+    prepare.add_argument("--seed", type=int, default=0)
+    prepare.add_argument("--main-text-selector", default="p")
+    prepare.set_defaults(func=cmd_prepare)
+
+    run = sub.add_parser("run", help="run a full simulated campaign")
+    run.add_argument("spec")
+    run.add_argument("pages")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--reward", type=float, default=0.10)
+    run.add_argument("--main-text-selector", default="p")
+    run.add_argument(
+        "--utilities",
+        help="JSON file mapping version ids to latent utilities for the "
+        "simulated crowd's judgment model",
+    )
+    run.add_argument(
+        "--adaptive",
+        choices=sorted(_SCHEDULERS),
+        help="use sorting-based comparison reduction (single-question tests)",
+    )
+    run.set_defaults(func=cmd_run)
+
+    builder = sub.add_parser("builder", help="print the parameter-builder form HTML")
+    builder.add_argument("--questions", type=int, default=1)
+    builder.add_argument("--webpages", type=int, default=2)
+    builder.set_defaults(func=cmd_builder)
+
+    replay = sub.add_parser("replay", help="visual metrics of a page under a schedule")
+    replay.add_argument("page", help="HTML file")
+    replay.add_argument("--load", type=float, default=3000,
+                        help="scalar web_page_load (ms)")
+    replay.add_argument("--schedule",
+                        help='JSON selector schedule, e.g. \'[{"#main": 1000}]\'')
+    replay.add_argument("--seed", type=int, default=0)
+    replay.set_defaults(func=cmd_replay)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Bradley–Terry model fitting: pairwise answers -> latent quality scores.
+
+The core server's last duty is to "conclude the final Web QoE measurement
+results". Raw tallies answer "which of this pair won"; the Bradley–Terry
+model answers the stronger question the experimenter actually has: *on a
+common scale, how good is each version?* Under BT, version ``i`` beats
+``j`` with probability ``p_i / (p_i + p_j)``; fitting the ``p`` vector to
+the observed pairwise wins yields a full ranking with meaningful gaps,
+robust to intransitive noise in individual participants.
+
+Fitting uses the classic MM (minorization–maximization) iteration
+(Hunter 2004), with ties ("Same" answers) split half-and-half — the
+standard reduction. Scores are returned normalized to sum to 1, plus a
+log-scale ("ability") form whose differences are comparable to the
+Thurstone utility gaps used by the judgment models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.extension import ParticipantResult
+from repro.errors import ValidationError
+
+
+@dataclass
+class PairwiseCounts:
+    """Win counts between every ordered pair of versions."""
+
+    version_ids: List[str]
+    wins: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def add_win(self, winner: str, loser: str, weight: float = 1.0) -> None:
+        if winner not in self.version_ids or loser not in self.version_ids:
+            raise ValidationError(f"unknown version in ({winner!r}, {loser!r})")
+        key = (winner, loser)
+        self.wins[key] = self.wins.get(key, 0.0) + weight
+
+    def add_tie(self, a: str, b: str) -> None:
+        """A "Same" answer: half a win each way."""
+        self.add_win(a, b, 0.5)
+        self.add_win(b, a, 0.5)
+
+    def total_comparisons(self) -> float:
+        return sum(self.wins.values())
+
+    def wins_of(self, version: str) -> float:
+        return sum(w for (winner, _), w in self.wins.items() if winner == version)
+
+    def matchups(self, a: str, b: str) -> float:
+        """Total decisions (either direction) between a pair."""
+        return self.wins.get((a, b), 0.0) + self.wins.get((b, a), 0.0)
+
+
+def counts_from_results(
+    results: Sequence[ParticipantResult],
+    question_id: str,
+    version_ids: Sequence[str],
+) -> PairwiseCounts:
+    """Aggregate every participant's answers into pairwise win counts."""
+    counts = PairwiseCounts(list(version_ids))
+    known = set(version_ids)
+    for result in results:
+        for answer in result.answers_for(question_id):
+            left, right = answer.left_version, answer.right_version
+            if left not in known or right not in known:
+                continue
+            if answer.answer == "left":
+                counts.add_win(left, right)
+            elif answer.answer == "right":
+                counts.add_win(right, left)
+            else:
+                counts.add_tie(left, right)
+    return counts
+
+
+@dataclass(frozen=True)
+class BradleyTerryFit:
+    """A fitted BT model."""
+
+    scores: Dict[str, float]       # normalized to sum to 1
+    abilities: Dict[str, float]    # log scores, mean-centred
+    iterations: int
+    converged: bool
+
+    def ranking(self) -> List[str]:
+        """Version ids best-first."""
+        return sorted(self.scores, key=lambda v: -self.scores[v])
+
+    def win_probability(self, a: str, b: str) -> float:
+        """Model probability that ``a`` beats ``b``."""
+        pa, pb = self.scores[a], self.scores[b]
+        return pa / (pa + pb)
+
+
+def fit_bradley_terry(
+    counts: PairwiseCounts,
+    max_iterations: int = 5000,
+    tolerance: float = 1e-9,
+    regularization: float = 0.1,
+) -> BradleyTerryFit:
+    """Fit BT scores by Hunter's MM algorithm.
+
+    ``regularization`` adds a pseudo-draw between every pair, which keeps
+    the MLE finite when one version wins (or loses) every comparison —
+    exactly what happens against the 4pt contrast control.
+    """
+    versions = counts.version_ids
+    if len(versions) < 2:
+        raise ValidationError("Bradley-Terry needs at least 2 versions")
+    if counts.total_comparisons() <= 0:
+        raise ValidationError("no comparisons to fit")
+
+    # Regularized counts.
+    wins: Dict[Tuple[str, str], float] = dict(counts.wins)
+    for i, a in enumerate(versions):
+        for b in versions[i + 1 :]:
+            wins[(a, b)] = wins.get((a, b), 0.0) + regularization
+            wins[(b, a)] = wins.get((b, a), 0.0) + regularization
+
+    p = {v: 1.0 / len(versions) for v in versions}
+    win_totals = {
+        v: sum(w for (winner, _), w in wins.items() if winner == v) for v in versions
+    }
+    matchups = {
+        (a, b): wins.get((a, b), 0.0) + wins.get((b, a), 0.0)
+        for a in versions
+        for b in versions
+        if a != b
+    }
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        new_p = {}
+        for v in versions:
+            denominator = sum(
+                matchups[(v, other)] / (p[v] + p[other])
+                for other in versions
+                if other != v
+            )
+            new_p[v] = win_totals[v] / denominator if denominator > 0 else p[v]
+        total = sum(new_p.values())
+        new_p = {v: value / total for v, value in new_p.items()}
+        delta = max(abs(new_p[v] - p[v]) for v in versions)
+        p = new_p
+        if delta < tolerance:
+            converged = True
+            break
+
+    mean_log = sum(math.log(value) for value in p.values()) / len(p)
+    abilities = {v: math.log(value) - mean_log for v, value in p.items()}
+    return BradleyTerryFit(
+        scores=p, abilities=abilities, iterations=iteration, converged=converged
+    )
+
+
+def fit_from_results(
+    results: Sequence[ParticipantResult],
+    question_id: str,
+    version_ids: Sequence[str],
+    regularization: float = 0.1,
+) -> BradleyTerryFit:
+    """Convenience: aggregate and fit in one call."""
+    counts = counts_from_results(results, question_id, version_ids)
+    return fit_bradley_terry(counts, regularization=regularization)

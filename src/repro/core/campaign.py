@@ -1,0 +1,434 @@
+"""End-to-end campaign orchestration.
+
+A :class:`Campaign` wires every component together the way Figure 2 draws
+them: the aggregator prepares test data into the database and storage, the
+core server exposes it over the simulated network, the task is posted to the
+crowdsourcing platform, each recruited worker runs the browser-extension
+flow (download integrated pages, answer, upload), and the conclusion step
+applies quality control and analysis. One call to :meth:`run` is one
+complete Kaleidoscope test — the unit the evaluation benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregator import Aggregator, PreparedTest
+from repro.core.analysis import AnalysisBundle, analyze_responses
+from repro.core.extension import BrowserExtension, JudgeFunction, ParticipantResult
+from repro.core.integrated import IntegratedWebpage
+from repro.core.parameters import TestParameters
+from repro.core.quality import QualityConfig, QualityControl, QualityReport
+from repro.core.server import CoreServer
+from repro.crowd.platform import CrowdJob, CrowdPlatform
+from repro.crowd.workers import WorkerProfile
+from repro.errors import CampaignError
+from repro.html.dom import Document
+from repro.net.http import Request
+from repro.net.profiles import PROFILES, NetworkProfile
+from repro.net.simnet import Client, SimulatedNetwork
+from repro.sim.clock import SECONDS_PER_DAY, SimulationEnvironment
+from repro.storage.documentstore import DocumentStore
+from repro.storage.filestore import FileStore
+from repro.util.rng import coerce_rng
+
+# Participants arrive on whatever access network they have; the replay
+# design makes the *test* insensitive to this, but downloads still take
+# realistically different times.
+_PARTICIPANT_PROFILES = ("fiber", "cable", "dsl", "4g", "3g")
+_PROFILE_WEIGHTS = (0.25, 0.30, 0.15, 0.20, 0.10)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one finished campaign produced."""
+
+    test_id: str
+    raw_results: List[ParticipantResult]
+    quality_report: QualityReport
+    raw_analysis: AnalysisBundle
+    controlled_analysis: AnalysisBundle
+    job: Optional[CrowdJob]
+    duration_days: float
+    total_cost_usd: float
+
+    @property
+    def controlled_results(self) -> List[ParticipantResult]:
+        return self.quality_report.kept
+
+    @property
+    def participants(self) -> int:
+        return len(self.raw_results)
+
+
+class Campaign:
+    """Owns one test's full lifecycle over shared infrastructure."""
+
+    def __init__(
+        self,
+        env: Optional[SimulationEnvironment] = None,
+        network: Optional[SimulatedNetwork] = None,
+        database: Optional[DocumentStore] = None,
+        storage: Optional[FileStore] = None,
+        platform: Optional[CrowdPlatform] = None,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ):
+        self.rng = coerce_rng(rng, seed)
+        self.env = env if env is not None else SimulationEnvironment()
+        self.network = network if network is not None else SimulatedNetwork(self.env)
+        self.database = database if database is not None else DocumentStore()
+        self.storage = storage if storage is not None else FileStore()
+        self.platform = (
+            platform
+            if platform is not None
+            else CrowdPlatform(self.env, rng=self.rng)
+        )
+        self.aggregator = Aggregator(self.database, self.storage)
+        self.server = CoreServer(
+            self.database, self.storage, platform=self.platform
+        )
+        self.network.attach(self.server.http)
+        self.prepared: Optional[PreparedTest] = None
+
+    # -- step 1: aggregation -------------------------------------------------
+
+    def prepare(
+        self,
+        parameters: TestParameters,
+        documents: Dict[str, Document],
+        fetcher=None,
+        main_text_selector: str = "p",
+        instructions: str = "",
+        randomize_orientation: bool = False,
+    ) -> PreparedTest:
+        """Run the aggregator; must precede :meth:`run`.
+
+        ``randomize_orientation`` stores every pair in both left/right
+        orientations and shows each participant a random one — the standard
+        counterbalancing against position bias.
+        """
+        self._randomize_orientation = randomize_orientation
+        self.prepared = self.aggregator.prepare(
+            parameters,
+            documents,
+            fetcher=fetcher,
+            main_text_selector=main_text_selector,
+            instructions=instructions,
+            mirror_pairs=randomize_orientation,
+        )
+        return self.prepared
+
+    # -- step 2+3: post task, recruit, run participants ---------------------------
+
+    def run(
+        self,
+        judge: JudgeFunction,
+        reward_usd: float = 0.10,
+        quality_config: Optional[QualityConfig] = None,
+        participants: Optional[int] = None,
+        controls_per_participant: int = 1,
+    ) -> CampaignResult:
+        """Execute the campaign to completion and conclude the results."""
+        prepared = self._require_prepared()
+        needed = participants or prepared.parameters.participant_num
+        post = self.network.exchange(
+            Request.post_json(
+                self.server.url("/tasks"),
+                {
+                    "test_id": prepared.test_id,
+                    "participants_needed": needed,
+                    "reward_usd": reward_usd,
+                },
+            )
+        )[0]
+        if not post.ok:
+            raise CampaignError(f"task post failed: {post.text}")
+        job = self.platform.get_job(post.json()["job_id"])
+        start_time = self.env.now
+
+        def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+            self._run_participant(worker, judge, controls_per_participant)
+
+        self.platform.run_recruitment(job, on_recruit=on_recruit)
+        duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
+        return self.conclude(
+            job=job, duration_days=duration_days, quality_config=quality_config
+        )
+
+    def run_until_significant(
+        self,
+        judge: JudgeFunction,
+        question_id: str,
+        pair: tuple,
+        alpha: float = 0.01,
+        batch_size: int = 10,
+        max_participants: int = 400,
+        reward_usd: float = 0.10,
+        quality_config: Optional[QualityConfig] = None,
+    ) -> CampaignResult:
+        """Recruit in batches until a pair's preference reaches significance.
+
+        The §IV-B discussion notes that an inconclusive test simply needs
+        "more visits (and time)". This sequential mode recruits
+        ``batch_size`` participants at a time and stops as soon as the
+        quality-controlled tally for ``(question_id, *pair)`` has
+        p < ``alpha`` — or at ``max_participants``.
+
+        Note the statistical caveat baked into the default: repeatedly
+        peeking inflates the false-positive rate, so ``alpha`` defaults to
+        a stricter 0.01 rather than 0.05.
+        """
+        prepared = self._require_prepared()
+        if batch_size <= 0 or max_participants <= 0:
+            raise CampaignError("batch_size and max_participants must be positive")
+        post = self.network.exchange(
+            Request.post_json(
+                self.server.url("/tasks"),
+                {
+                    "test_id": prepared.test_id,
+                    "participants_needed": max_participants,
+                    "reward_usd": reward_usd,
+                },
+            )
+        )[0]
+        if not post.ok:
+            raise CampaignError(f"task post failed: {post.text}")
+        job = self.platform.get_job(post.json()["job_id"])
+        start_time = self.env.now
+        result: Optional[CampaignResult] = None
+
+        def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+            self._run_participant(worker, judge, controls_per_participant=1)
+
+        while job.participants_recruited < max_participants:
+            target = min(
+                job.participants_recruited + batch_size, max_participants
+            )
+            saved_quota = job.participants_needed
+            job.participants_needed = target
+            self.platform.run_recruitment(job, on_recruit=on_recruit)
+            job.participants_needed = saved_quota
+            duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
+            result = self.conclude(
+                job=job, duration_days=duration_days, quality_config=quality_config
+            )
+            tally = result.controlled_analysis.tallies.get((question_id, *pair))
+            if tally is not None and tally.total >= batch_size and (
+                tally.preference_p_value() < alpha
+            ):
+                self.platform.close_job(job.job_id)
+                break
+        assert result is not None  # at least one batch ran
+        return result
+
+    def run_with_workers(
+        self,
+        workers: Sequence[WorkerProfile],
+        judge: JudgeFunction,
+        quality_config: Optional[QualityConfig] = None,
+        controls_per_participant: int = 1,
+        in_lab: bool = False,
+    ) -> CampaignResult:
+        """Run a fixed roster (the in-lab path, or unit-style driving).
+
+        Skips platform recruitment; every worker performs the test back to
+        back on the virtual clock.
+        """
+        prepared = self._require_prepared()
+        for worker in workers:
+            self._run_participant(worker, judge, controls_per_participant, in_lab=in_lab)
+        return self.conclude(job=None, duration_days=0.0, quality_config=quality_config)
+
+    def run_adaptive(
+        self,
+        judge: JudgeFunction,
+        scheduler_factory,
+        reward_usd: float = 0.10,
+        quality_config: Optional[QualityConfig] = None,
+        participants: Optional[int] = None,
+    ) -> CampaignResult:
+        """Run with sorting-based comparison reduction (§III-D).
+
+        ``scheduler_factory(version_ids)`` builds a fresh comparison
+        scheduler per participant (e.g. ``InsertionSortScheduler``); each
+        participant sees only the pairs their own sort requires, plus one
+        control pair. Single-question tests only.
+        """
+        prepared = self._require_prepared()
+        if len(prepared.parameters.question) != 1:
+            raise CampaignError(
+                "sorting-based reduction applies only when one comparison "
+                "question is asked (§III-D)"
+            )
+        needed = participants or prepared.parameters.participant_num
+        post = self.network.exchange(
+            Request.post_json(
+                self.server.url("/tasks"),
+                {
+                    "test_id": prepared.test_id,
+                    "participants_needed": needed,
+                    "reward_usd": reward_usd,
+                },
+            )
+        )[0]
+        if not post.ok:
+            raise CampaignError(f"task post failed: {post.text}")
+        job = self.platform.get_job(post.json()["job_id"])
+        start_time = self.env.now
+
+        def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+            self._run_participant(
+                worker, judge, controls_per_participant=1,
+                scheduler_factory=scheduler_factory,
+            )
+
+        self._adaptive_mode = True
+        try:
+            self.platform.run_recruitment(job, on_recruit=on_recruit)
+        finally:
+            duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
+        return self.conclude(
+            job=job, duration_days=duration_days, quality_config=quality_config
+        )
+
+    def _run_participant(
+        self,
+        worker: WorkerProfile,
+        judge: JudgeFunction,
+        controls_per_participant: int,
+        in_lab: bool = False,
+        scheduler_factory=None,
+    ) -> None:
+        prepared = self._require_prepared()
+        profile = self._sample_profile()
+        client = Client(self.network, profile)
+
+        def download(storage_path: str) -> str:
+            response = client.get(self.server.url(f"/resources/{storage_path}"))
+            return response.text if response.ok else ""
+
+        extension = BrowserExtension(
+            worker, judge, rng=self.rng, in_lab=in_lab, download=download
+        )
+        if scheduler_factory is None:
+            pages = self._pages_for_participant(prepared, controls_per_participant)
+            result = extension.run_test(
+                prepared.test_id, prepared.parameters.question, pages
+            )
+        else:
+            version_ids = [
+                v for v in prepared.version_ids if v != "__contrast__"
+            ]
+            pages_by_pair = {
+                frozenset((p.left_version, p.right_version)): p
+                for p in prepared.comparison_pairs()
+            }
+            controls = list(prepared.control_pairs())
+            order = self.rng.permutation(len(controls))
+            chosen = [controls[i] for i in order[:controls_per_participant]]
+            result = extension.run_adaptive_test(
+                prepared.test_id,
+                prepared.parameters.question[0],
+                scheduler_factory(version_ids),
+                pages_by_pair,
+                control_pages=chosen,
+            )
+        upload = client.post_json(self.server.url("/responses"), result.as_dict())
+        if not upload.ok:
+            raise CampaignError(
+                f"upload for {worker.worker_id} failed: {upload.text}"
+            )
+
+    def _pages_for_participant(
+        self, prepared: PreparedTest, controls_per_participant: int
+    ) -> List[IntegratedWebpage]:
+        """Shuffled comparison pairs plus randomly-placed control pair(s).
+
+        Matches §IV-A: "Each recruited participant will compare at most 11
+        integrated webpages, and one of them is for quality control." With
+        orientation randomization on, each pair is shown in a random one of
+        its two stored orientations.
+        """
+        pages = list(prepared.comparison_pairs())
+        if getattr(self, "_randomize_orientation", False):
+            pages = [
+                page
+                if self.rng.uniform() < 0.5
+                else self._mirrored_of(prepared, page)
+                for page in pages
+            ]
+        order = self.rng.permutation(len(pages))
+        pages = [pages[i] for i in order]
+        controls = list(prepared.control_pairs())
+        control_order = self.rng.permutation(len(controls))
+        chosen = [controls[i] for i in control_order[:controls_per_participant]]
+        for control in chosen:
+            position = int(self.rng.integers(0, len(pages) + 1))
+            pages.insert(position, control)
+        return pages
+
+    @staticmethod
+    def _mirrored_of(
+        prepared: PreparedTest, page: IntegratedWebpage
+    ) -> IntegratedWebpage:
+        for candidate in prepared.orientations_of(page.pair_key):
+            if candidate.orientation != page.orientation:
+                return candidate
+        return page  # no mirrored variant stored: fall back
+
+    def _sample_profile(self) -> NetworkProfile:
+        name = str(self.rng.choice(_PARTICIPANT_PROFILES, p=_PROFILE_WEIGHTS))
+        return PROFILES[name]
+
+    # -- step 4: conclusion ------------------------------------------------------
+
+    def conclude(
+        self,
+        job: Optional[CrowdJob],
+        duration_days: float,
+        quality_config: Optional[QualityConfig] = None,
+    ) -> CampaignResult:
+        """Apply quality control and analysis to everything uploaded so far."""
+        prepared = self._require_prepared()
+        raw = self.server.stored_results(prepared.test_id)
+        if not raw:
+            raise CampaignError("no responses collected; nothing to conclude")
+        questions = len(prepared.parameters.question)
+        if getattr(self, "_adaptive_mode", False):
+            # Sorting-based reduction: any correct sort of N versions asks
+            # at least N-1 questions; completeness is that floor + control.
+            version_count = len(
+                [v for v in prepared.version_ids if v != "__contrast__"]
+            )
+            expected_answers = (version_count - 1 + 1) * questions
+        else:
+            comparisons = len(prepared.comparison_pairs())
+            # Hard-rule completeness: every comparison pair answered for
+            # every question, plus at least one control page.
+            expected_answers = (comparisons + 1) * questions
+        report = QualityControl(quality_config).apply(raw, expected_answers)
+        question_ids = [q.question_id for q in prepared.parameters.question]
+        version_ids = [
+            v for v in prepared.version_ids if v != "__contrast__"
+        ]
+        raw_analysis = analyze_responses(raw, question_ids, version_ids)
+        controlled_analysis = analyze_responses(report.kept, question_ids, version_ids)
+        return CampaignResult(
+            test_id=prepared.test_id,
+            raw_results=raw,
+            quality_report=report,
+            raw_analysis=raw_analysis,
+            controlled_analysis=controlled_analysis,
+            job=job,
+            duration_days=duration_days,
+            total_cost_usd=job.total_cost_usd if job is not None else 0.0,
+        )
+
+    def _require_prepared(self) -> PreparedTest:
+        if self.prepared is None:
+            raise CampaignError("campaign not prepared; call prepare() first")
+        return self.prepared

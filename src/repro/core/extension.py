@@ -1,0 +1,284 @@
+"""The browser extension: the participant client (§III-D, Figure 3).
+
+The extension walks one participant through the test flow:
+
+1. collect test id / contributor id and coarse demographics;
+2. download each integrated webpage from the core server and open it in a
+   new tab;
+3. after the participant views the pair, require an answer to every
+   comparison question before the next integrated webpage (a hard rule);
+4. record behaviour (time on the comparison, tabs created, active-tab
+   switches) for the engagement-based quality control;
+5. upload everything to the core server at the end.
+
+Judgment itself is delegated to an injected ``judge`` callable — the
+experiment harness wires the appropriate psychometric model (readability,
+uPLT, ...) per question — while control pairs are answered through the
+shared control-pair models, since their outcome depends only on worker
+attentiveness, not on the stimulus dimension under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.integrated import (
+    CONTROL_CONTRAST,
+    CONTROL_IDENTICAL,
+    IntegratedWebpage,
+)
+from repro.core.parameters import Question
+from repro.crowd.behavior import BehaviorTrace, sample_behavior
+from repro.crowd.judgment import judge_contrast_pair, judge_identical_pair
+from repro.crowd.workers import WorkerProfile
+from repro.errors import ExtensionError
+from repro.util.rng import coerce_rng
+
+# judge(worker, question, left_version, right_version, rng) -> 'left'|'right'|'same'
+JudgeFunction = Callable[..., str]
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One (integrated webpage, question) response with its behaviour trace."""
+
+    integrated_id: str
+    question_id: str
+    answer: str
+    left_version: str
+    right_version: str
+    is_control: bool
+    behavior: BehaviorTrace
+
+    def as_dict(self) -> dict:
+        return {
+            "integrated_id": self.integrated_id,
+            "question_id": self.question_id,
+            "answer": self.answer,
+            "left_version": self.left_version,
+            "right_version": self.right_version,
+            "is_control": self.is_control,
+            "behavior": self.behavior.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Answer":
+        return cls(
+            integrated_id=data["integrated_id"],
+            question_id=data["question_id"],
+            answer=data["answer"],
+            left_version=data["left_version"],
+            right_version=data["right_version"],
+            is_control=bool(data["is_control"]),
+            behavior=BehaviorTrace.from_dict(data["behavior"]),
+        )
+
+
+@dataclass
+class ParticipantResult:
+    """Everything one participant uploads at the end of a test."""
+
+    test_id: str
+    worker_id: str
+    demographics: dict
+    answers: List[Answer] = field(default_factory=list)
+    total_minutes: float = 0.0
+    revisits: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "test_id": self.test_id,
+            "worker_id": self.worker_id,
+            "demographics": self.demographics,
+            "answers": [a.as_dict() for a in self.answers],
+            "total_minutes": self.total_minutes,
+            "revisits": self.revisits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ParticipantResult":
+        return cls(
+            test_id=data["test_id"],
+            worker_id=data["worker_id"],
+            demographics=dict(data["demographics"]),
+            answers=[Answer.from_dict(a) for a in data["answers"]],
+            total_minutes=float(data.get("total_minutes", 0.0)),
+            revisits=int(data.get("revisits", 0)),
+        )
+
+    def answers_for(self, question_id: str, include_controls: bool = False) -> List[Answer]:
+        """This participant's answers to one question."""
+        return [
+            a
+            for a in self.answers
+            if a.question_id == question_id and (include_controls or not a.is_control)
+        ]
+
+
+class BrowserExtension:
+    """Simulates one participant's pass through the Figure 3 flow."""
+
+    def __init__(
+        self,
+        worker: WorkerProfile,
+        judge: JudgeFunction,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+        in_lab: bool = False,
+        download=None,
+    ):
+        """``download(storage_path) -> html`` fetches an integrated page from
+        the core server; None skips the network (judgment-only simulation)."""
+        self.worker = worker
+        self.judge = judge
+        self.rng = coerce_rng(rng, seed)
+        self.in_lab = in_lab
+        self.download = download
+
+    def run_test(
+        self,
+        test_id: str,
+        questions: Sequence[Question],
+        integrated_pages: Sequence[IntegratedWebpage],
+    ) -> ParticipantResult:
+        """Perform the whole test: every integrated page, every question."""
+        if not questions:
+            raise ExtensionError("a test needs at least one comparison question")
+        if not integrated_pages:
+            raise ExtensionError("a test needs at least one integrated webpage")
+        result = ParticipantResult(
+            test_id=test_id,
+            worker_id=self.worker.worker_id,
+            demographics=self.worker.demographics.as_dict(),
+        )
+        for page in integrated_pages:
+            self._visit_page(page, questions, result)
+        return result
+
+    def run_adaptive_test(
+        self,
+        test_id: str,
+        question: Question,
+        scheduler,
+        pages_by_pair: Dict[frozenset, IntegratedWebpage],
+        control_pages: Sequence[IntegratedWebpage] = (),
+    ) -> ParticipantResult:
+        """Perform a sorting-driven test (§III-D's comparison reduction).
+
+        Valid only for single-question tests: the ``scheduler`` (any
+        :mod:`repro.core.scheduling` scheduler over the version ids) picks
+        each next pair from the participant's own previous answers, so only
+        the integrated pages the sort needs are downloaded and shown.
+        ``pages_by_pair`` maps ``frozenset({left, right})`` to the stored
+        integrated page; when the stored orientation is mirrored relative
+        to the scheduler's request, the answer is mirrored back.
+        """
+        result = ParticipantResult(
+            test_id=test_id,
+            worker_id=self.worker.worker_id,
+            demographics=self.worker.demographics.as_dict(),
+        )
+        for control in control_pages:
+            self._visit_page(control, [question], result)
+        while True:
+            pair = scheduler.next_pair()
+            if pair is None:
+                break
+            want_left, want_right = pair
+            page = pages_by_pair.get(frozenset(pair))
+            if page is None:
+                raise ExtensionError(f"no integrated page for pair {pair!r}")
+            before = len(result.answers)
+            self._visit_page(page, [question], result)
+            answer = result.answers[before].answer
+            if (page.left_version, page.right_version) == (want_right, want_left):
+                answer = {"left": "right", "right": "left", "same": "same"}[answer]
+            scheduler.report(answer)
+        return result
+
+    # -- one integrated webpage ----------------------------------------------
+
+    def _visit_page(
+        self,
+        page: IntegratedWebpage,
+        questions: Sequence[Question],
+        result: ParticipantResult,
+    ) -> None:
+        if self.download is not None:
+            html = self.download(page.storage_path)
+            if not html:
+                raise ExtensionError(
+                    f"could not download integrated page {page.integrated_id!r}"
+                )
+        trace = sample_behavior(self.worker, rng=self.rng, in_lab=self.in_lab)
+        # Participants "can revisit as many times as one wants"; distracted
+        # workers revisit more.
+        revisits = int(self.rng.poisson(0.15 + 0.6 * (1.0 - self.worker.attention)))
+        result.revisits += revisits
+        for question in questions:
+            answer = self._answer(page, question)
+            result.answers.append(
+                Answer(
+                    integrated_id=page.integrated_id,
+                    question_id=question.question_id,
+                    answer=answer,
+                    left_version=page.left_version,
+                    right_version=page.right_version,
+                    is_control=page.is_control,
+                    behavior=trace,
+                )
+            )
+        result.total_minutes += trace.duration_minutes
+
+    def _answer(self, page: IntegratedWebpage, question: Question) -> str:
+        if page.control_kind == CONTROL_IDENTICAL:
+            return judge_identical_pair(self.worker, rng=self.rng)
+        if page.control_kind == CONTROL_CONTRAST:
+            return judge_contrast_pair(self.worker, page.expected_answer, rng=self.rng)
+        answer = self.judge(
+            self.worker, question, page.left_version, page.right_version, self.rng
+        )
+        if answer not in ("left", "right", "same"):
+            raise ExtensionError(
+                f"judge returned {answer!r}; must be left/right/same"
+            )
+        return answer
+
+
+def make_utility_judge(
+    utilities: Dict[str, float], choice_model, side_by_side: bool = True
+) -> JudgeFunction:
+    """A judge for style questions: versions carry latent utilities and a
+    :class:`~repro.crowd.judgment.ThurstoneChoiceModel` decides."""
+
+    def judge(worker, question, left_version, right_version, rng):
+        return choice_model.choose(
+            utilities[left_version],
+            utilities[right_version],
+            worker,
+            rng=rng,
+            side_by_side=side_by_side,
+        )
+
+    return judge
+
+
+def make_uplt_judge(
+    region_times: Dict[str, Dict[str, float]], perception_model
+) -> JudgeFunction:
+    """A judge for "ready to use first" questions: versions carry
+    ``{'main': ms, 'auxiliary': ms}`` reveal times and a
+    :class:`~repro.crowd.judgment.UPLTPerceptionModel` decides."""
+
+    def judge(worker, question, left_version, right_version, rng):
+        return perception_model.choose_faster(
+            region_times[left_version],
+            region_times[right_version],
+            worker,
+            rng=rng,
+        )
+
+    return judge

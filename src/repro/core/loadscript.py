@@ -1,0 +1,145 @@
+"""Generator for the injected page-load replay JavaScript.
+
+The aggregator injects "a JavaScript function, developed by us" into every
+compressed test webpage: it first hides all DOMs, then shows them according
+to the simulating parameters. This module emits that actual script text —
+the artifact a real deployment would ship — from a
+:class:`~repro.render.replay.RevealSchedule`. The Python-side semantics of
+the very same schedule live in :func:`repro.render.replay.compute_reveal_times`;
+the tests assert the two agree on what gets revealed when.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+from repro.errors import ReplayError
+from repro.html.dom import Document, Element, Text
+from repro.render.replay import (
+    RevealSchedule,
+    SelectorSchedule,
+    UniformRandomSchedule,
+)
+
+SCRIPT_MARKER_ATTR = "data-kaleidoscope-replay"
+
+_SCRIPT_TEMPLATE = """\
+(function () {{
+  'use strict';
+  /* Kaleidoscope page-load replay (auto-generated). */
+  var schedule = {schedule_json};
+  function hideAll() {{
+    var all = document.body ? document.body.getElementsByTagName('*') : [];
+    for (var i = 0; i < all.length; i++) {{
+      all[i].style.visibility = 'hidden';
+    }}
+  }}
+  function reveal(el) {{
+    el.style.visibility = 'visible';
+    var p = el.parentElement;
+    while (p) {{ p.style.visibility = 'visible'; p = p.parentElement; }}
+  }}
+  function replayUniform(durationMs) {{
+    var all = document.body.getElementsByTagName('*');
+    for (var i = 0; i < all.length; i++) {{
+      (function (el) {{
+        setTimeout(function () {{ reveal(el); }}, Math.random() * durationMs);
+      }})(all[i]);
+    }}
+  }}
+  function replaySelectors(entries, defaultMs) {{
+    var assigned = new Map();
+    var all = document.body.getElementsByTagName('*');
+    for (var i = 0; i < all.length; i++) {{ assigned.set(all[i], defaultMs); }}
+    entries.forEach(function (entry) {{
+      var selector = Object.keys(entry)[0];
+      var timeMs = entry[selector];
+      document.querySelectorAll(selector).forEach(function (el) {{
+        assigned.set(el, timeMs);
+        el.querySelectorAll('*').forEach(function (d) {{ assigned.set(d, timeMs); }});
+      }});
+    }});
+    assigned.forEach(function (timeMs, el) {{
+      setTimeout(function () {{ reveal(el); }}, timeMs);
+    }});
+  }}
+  function start() {{
+    hideAll();
+    if (typeof schedule.duration_ms === 'number') {{
+      replayUniform(schedule.duration_ms);
+    }} else {{
+      replaySelectors(schedule.entries, schedule.default_ms);
+    }}
+  }}
+  if (document.readyState === 'loading') {{
+    document.addEventListener('DOMContentLoaded', start);
+  }} else {{
+    start();
+  }}
+}})();
+"""
+
+
+def _schedule_payload(schedule: RevealSchedule) -> dict:
+    if isinstance(schedule, UniformRandomSchedule):
+        return {"duration_ms": schedule.duration_ms}
+    if isinstance(schedule, SelectorSchedule):
+        return {
+            "entries": [{selector: time_ms} for selector, time_ms in schedule.entries],
+            "default_ms": schedule.default_ms,
+        }
+    raise ReplayError(f"unknown schedule type {type(schedule).__name__}")
+
+
+def generate_load_script(schedule: RevealSchedule) -> str:
+    """Emit the replay JavaScript for ``schedule``."""
+    return _SCRIPT_TEMPLATE.format(
+        schedule_json=json.dumps(_schedule_payload(schedule), sort_keys=True)
+    )
+
+
+def inject_load_script(document: Document, schedule: RevealSchedule) -> Element:
+    """Inject (or replace) the replay script in ``document``'s head.
+
+    Returns the script element. Injection is idempotent: re-injecting with a
+    new schedule replaces the previous script rather than stacking replays.
+    """
+    head = document.ensure_head()
+    for existing in head.get_elements_by_tag("script"):
+        if existing.get(SCRIPT_MARKER_ATTR) is not None:
+            existing.detach()
+    script = Element("script", {SCRIPT_MARKER_ATTR: "1"})
+    script.append(Text(generate_load_script(schedule)))
+    head.append(script)
+    return script
+
+
+def extract_schedule(document: Document) -> Union[RevealSchedule, None]:
+    """Recover the schedule from an injected script (None when absent).
+
+    Used by the extension simulation: the participant's browser executes
+    whatever schedule the downloaded page carries, not what the server
+    intended — so round-tripping through the document is the honest path.
+    """
+    for script in document.root.get_elements_by_tag("script"):
+        if script.get(SCRIPT_MARKER_ATTR) is None:
+            continue
+        source = "".join(
+            child.data for child in script.children if isinstance(child, Text)
+        )
+        marker = "var schedule = "
+        start = source.find(marker)
+        if start == -1:
+            continue
+        start += len(marker)
+        end = source.find(";\n", start)
+        payload = json.loads(source[start:end])
+        if "duration_ms" in payload:
+            return UniformRandomSchedule(float(payload["duration_ms"]))
+        pairs = []
+        for entry in payload["entries"]:
+            selector, time_ms = next(iter(entry.items()))
+            pairs.append((selector, float(time_ms)))
+        return SelectorSchedule.from_pairs(pairs, default_ms=float(payload["default_ms"]))
+    return None

@@ -1,0 +1,180 @@
+"""Table I: the JSON test-parameter schema.
+
+Reproduces the paper's parameter document exactly — key names included — so
+a Kaleidoscope spec file round-trips through this module:
+
+==================  ======  =====================================================
+Notation            Type    Explanation
+==================  ======  =====================================================
+test_id             string  The test identification
+webpage_num         int     The number of test webpages
+test_description    string  The description of a test
+participant_num     int     The number of participants involved in the test
+question            array   The asked questions during the test
+webpages            array   The basic information of all test webpages
+web_path            string  The relative folder path of a test webpage
+web_page_load       int     The page load simulating value (or selector array)
+web_main_file       string  The initial html file name of a test webpage
+web_description     string  The description of a test webpage
+==================  ======  =====================================================
+
+Comparison questions are answered "Left" / "Right" / "Same" only, which is
+why the schema stores just the question text and an id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Union
+
+from repro.errors import ValidationError
+from repro.render.replay import RevealSchedule, schedule_from_parameter
+from repro.util import jsonutil
+from repro.util.validation import (
+    require_keys,
+    require_non_empty,
+    require_positive,
+    require_type,
+)
+
+
+@dataclass(frozen=True)
+class Question:
+    """One comparison question asked after each integrated webpage."""
+
+    question_id: str
+    text: str
+
+    def as_dict(self) -> dict:
+        return {"question_id": self.question_id, "text": self.text}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Question":
+        require_keys(data, ("question_id", "text"), "question")
+        require_non_empty(require_type(data["question_id"], str, "question_id"), "question_id")
+        require_non_empty(require_type(data["text"], str, "text"), "text")
+        return cls(question_id=data["question_id"], text=data["text"])
+
+
+@dataclass(frozen=True)
+class WebpageSpec:
+    """One entry of the "webpages" array (one version of the page)."""
+
+    web_path: str
+    web_page_load: Union[int, float, List[Dict[str, float]]]
+    web_main_file: str = "index.html"
+    web_description: str = ""
+
+    def schedule(self) -> RevealSchedule:
+        """Decode ``web_page_load`` into a replay schedule."""
+        return schedule_from_parameter(self.web_page_load)
+
+    def as_dict(self) -> dict:
+        return {
+            "web_path": self.web_path,
+            "web_page_load": self.web_page_load,
+            "web_main_file": self.web_main_file,
+            "web_description": self.web_description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WebpageSpec":
+        require_keys(data, ("web_path", "web_page_load"), "webpages[]")
+        require_non_empty(require_type(data["web_path"], str, "web_path"), "web_path")
+        spec = cls(
+            web_path=data["web_path"],
+            web_page_load=data["web_page_load"],
+            web_main_file=require_type(
+                data.get("web_main_file", "index.html"), str, "web_main_file"
+            ),
+            web_description=require_type(
+                data.get("web_description", ""), str, "web_description"
+            ),
+        )
+        spec.schedule()  # validates web_page_load eagerly
+        return spec
+
+
+@dataclass(frozen=True)
+class TestParameters:
+    """The full Table-I document."""
+
+    test_id: str
+    test_description: str
+    participant_num: int
+    question: List[Question]
+    webpages: List[WebpageSpec]
+
+    def __post_init__(self):
+        require_non_empty(require_type(self.test_id, str, "test_id"), "test_id")
+        require_type(self.test_description, str, "test_description")
+        require_positive(self.participant_num, "participant_num")
+        require_non_empty(list(self.question), "question")
+        if len(self.webpages) < 2:
+            raise ValidationError(
+                f"a test needs at least 2 webpage versions, got {len(self.webpages)}",
+                field="webpages",
+            )
+        paths = [w.web_path for w in self.webpages]
+        if len(set(paths)) != len(paths):
+            raise ValidationError("webpage web_path values must be unique", field="webpages")
+        question_ids = [q.question_id for q in self.question]
+        if len(set(question_ids)) != len(question_ids):
+            raise ValidationError("question ids must be unique", field="question")
+
+    @property
+    def webpage_num(self) -> int:
+        """Derived count, serialized for Table-I fidelity."""
+        return len(self.webpages)
+
+    @property
+    def pair_count(self) -> int:
+        """C(N, 2) integrated webpages for N versions."""
+        n = self.webpage_num
+        return n * (n - 1) // 2
+
+    def as_dict(self) -> dict:
+        return {
+            "test_id": self.test_id,
+            "webpage_num": self.webpage_num,
+            "test_description": self.test_description,
+            "participant_num": self.participant_num,
+            "question": [q.as_dict() for q in self.question],
+            "webpages": [w.as_dict() for w in self.webpages],
+        }
+
+    def to_json(self, pretty: bool = True) -> str:
+        """Serialize to the JSON document the paper's Web interface emits."""
+        payload = self.as_dict()
+        return jsonutil.dumps_pretty(payload) if pretty else jsonutil.dumps_canonical(payload)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TestParameters":
+        require_type(data, dict, "test parameters")
+        require_keys(
+            data,
+            ("test_id", "test_description", "participant_num", "question", "webpages"),
+            "test parameters",
+        )
+        require_type(data["question"], list, "question")
+        require_type(data["webpages"], list, "webpages")
+        params = cls(
+            test_id=data["test_id"],
+            test_description=data["test_description"],
+            participant_num=data["participant_num"],
+            question=[Question.from_dict(q) for q in data["question"]],
+            webpages=[WebpageSpec.from_dict(w) for w in data["webpages"]],
+        )
+        declared = data.get("webpage_num")
+        if declared is not None and declared != params.webpage_num:
+            raise ValidationError(
+                f"webpage_num is {declared} but {params.webpage_num} webpages "
+                "are listed",
+                field="webpage_num",
+            )
+        return params
+
+    @classmethod
+    def from_json(cls, text: str) -> "TestParameters":
+        """Parse and validate a JSON test-parameter document."""
+        return cls.from_dict(jsonutil.loads(text))

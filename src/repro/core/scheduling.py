@@ -1,0 +1,270 @@
+"""Comparison scheduling: which pairs does a participant see, in what order?
+
+By default every participant compares all C(N, 2) pairs of the N versions.
+When only one comparison question is asked, the paper notes that sorting
+algorithms (bubble sort, insertion sort, ...) can reduce the number of
+integrated webpages: the participant's own answers drive the sort, and each
+comparison the algorithm *would* perform is a pair actually shown. The
+schedulers here implement that idea as adaptive iterators, so each
+participant ranks all N versions with (typically) fewer than C(N, 2)
+comparisons.
+
+All schedulers share one protocol: construct with the version ids, then
+alternate ``next_pair()`` / ``report(answer)`` until ``next_pair()`` returns
+None; ``ranking()`` then yields best-to-worst version ids, and
+``comparisons_used`` counts the pairs shown.
+
+"Same" answers are treated as the comparison resolving in favour of keeping
+the current order (a tie breaks nothing in a sort).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+ANSWER_LEFT = "left"
+ANSWER_RIGHT = "right"
+ANSWER_SAME = "same"
+
+
+def all_pairs(version_ids: Sequence[str]) -> List[Tuple[str, str]]:
+    """Every unordered pair, in deterministic lexicographic-combination order."""
+    ids = list(version_ids)
+    if len(set(ids)) != len(ids):
+        raise ValidationError("version ids must be unique")
+    return list(combinations(ids, 2))
+
+
+class _SchedulerBase:
+    """Shared bookkeeping for comparison schedulers."""
+
+    def __init__(self, version_ids: Sequence[str]):
+        self.version_ids = list(version_ids)
+        if len(self.version_ids) < 2:
+            raise ValidationError("need at least 2 versions to schedule")
+        if len(set(self.version_ids)) != len(self.version_ids):
+            raise ValidationError("version ids must be unique")
+        self.comparisons_used = 0
+        self._pending: Optional[Tuple[str, str]] = None
+        self.history: List[Tuple[str, str, str]] = []  # (left, right, answer)
+
+    def next_pair(self) -> Optional[Tuple[str, str]]:
+        """The next (left, right) pair to show, or None when done."""
+        if self._pending is not None:
+            raise ValidationError("previous pair not yet reported")
+        pair = self._advance()
+        if pair is not None:
+            self._pending = pair
+            self.comparisons_used += 1
+        return pair
+
+    def report(self, answer: str) -> None:
+        """Report the participant's answer for the last pair."""
+        if self._pending is None:
+            raise ValidationError("no pair outstanding")
+        if answer not in (ANSWER_LEFT, ANSWER_RIGHT, ANSWER_SAME):
+            raise ValidationError(f"answer must be left/right/same, got {answer!r}")
+        left, right = self._pending
+        self.history.append((left, right, answer))
+        self._pending = None
+        self._absorb(left, right, answer)
+
+    # subclass hooks ------------------------------------------------------
+
+    def _advance(self) -> Optional[Tuple[str, str]]:
+        raise NotImplementedError
+
+    def _absorb(self, left: str, right: str, answer: str) -> None:
+        raise NotImplementedError
+
+    def ranking(self) -> List[str]:
+        raise NotImplementedError
+
+
+class FullPairScheduler(_SchedulerBase):
+    """Shows every C(N, 2) pair; ranks by Copeland score (wins - losses)."""
+
+    def __init__(self, version_ids: Sequence[str]):
+        super().__init__(version_ids)
+        self._queue = all_pairs(self.version_ids)
+        self._index = 0
+        self._score: Dict[str, float] = {v: 0.0 for v in self.version_ids}
+
+    def _advance(self) -> Optional[Tuple[str, str]]:
+        if self._index >= len(self._queue):
+            return None
+        pair = self._queue[self._index]
+        self._index += 1
+        return pair
+
+    def _absorb(self, left: str, right: str, answer: str) -> None:
+        if answer == ANSWER_LEFT:
+            self._score[left] += 1.0
+            self._score[right] -= 1.0
+        elif answer == ANSWER_RIGHT:
+            self._score[right] += 1.0
+            self._score[left] -= 1.0
+        # 'same' moves nothing: a tie.
+
+    def ranking(self) -> List[str]:
+        # Stable on the original order for equal scores.
+        order = {v: i for i, v in enumerate(self.version_ids)}
+        return sorted(self.version_ids, key=lambda v: (-self._score[v], order[v]))
+
+
+class BubbleSortScheduler(_SchedulerBase):
+    """Bubble sort driven by participant answers.
+
+    Adjacent versions are compared; "left is better" keeps order (the list
+    is maintained best-first), "right is better" swaps. Passes repeat until
+    a pass makes no swap — identical to textbook bubble sort, with the
+    participant as the comparator.
+    """
+
+    def __init__(self, version_ids: Sequence[str]):
+        super().__init__(version_ids)
+        self._order = list(self.version_ids)
+        self._position = 0
+        self._swapped_this_pass = False
+        self._done = False
+        # n-1 passes suffice for a consistent comparator; the cap also
+        # guarantees termination for *inconsistent* human comparators, whose
+        # swaps can otherwise cycle forever.
+        self._passes_left = max(1, len(self._order) - 1)
+
+    def _advance(self) -> Optional[Tuple[str, str]]:
+        if self._done:
+            return None
+        if self._position >= len(self._order) - 1:
+            self._passes_left -= 1
+            if not self._swapped_this_pass or self._passes_left <= 0:
+                self._done = True
+                return None
+            self._position = 0
+            self._swapped_this_pass = False
+        pair = (self._order[self._position], self._order[self._position + 1])
+        return pair
+
+    def _absorb(self, left: str, right: str, answer: str) -> None:
+        if answer == ANSWER_RIGHT:
+            self._order[self._position], self._order[self._position + 1] = (
+                self._order[self._position + 1],
+                self._order[self._position],
+            )
+            self._swapped_this_pass = True
+        self._position += 1
+
+    def ranking(self) -> List[str]:
+        return list(self._order)
+
+
+class InsertionSortScheduler(_SchedulerBase):
+    """Insertion sort: each new version is sifted into the sorted prefix."""
+
+    def __init__(self, version_ids: Sequence[str]):
+        super().__init__(version_ids)
+        self._sorted: List[str] = [self.version_ids[0]]
+        self._next_index = 1  # next version to insert
+        self._probe: Optional[int] = None  # position being compared against
+
+    def _advance(self) -> Optional[Tuple[str, str]]:
+        if self._next_index >= len(self.version_ids):
+            return None
+        if self._probe is None:
+            self._probe = len(self._sorted) - 1
+        candidate = self.version_ids[self._next_index]
+        return (self._sorted[self._probe], candidate)
+
+    def _absorb(self, left: str, right: str, answer: str) -> None:
+        candidate = self.version_ids[self._next_index]
+        assert self._probe is not None
+        if answer == ANSWER_RIGHT:
+            # Candidate beats the probed element: move up.
+            if self._probe == 0:
+                self._sorted.insert(0, candidate)
+                self._next_index += 1
+                self._probe = None
+            else:
+                self._probe -= 1
+        else:
+            # Probed element wins (or tie): candidate sits just below it.
+            self._sorted.insert(self._probe + 1, candidate)
+            self._next_index += 1
+            self._probe = None
+
+    def ranking(self) -> List[str]:
+        return list(self._sorted)
+
+
+class MergeSortScheduler(_SchedulerBase):
+    """Merge sort: O(N log N) comparisons, the fewest of the three."""
+
+    def __init__(self, version_ids: Sequence[str]):
+        super().__init__(version_ids)
+        self._runs: List[List[str]] = [[v] for v in self.version_ids]
+        self._left_run: Optional[List[str]] = None
+        self._right_run: Optional[List[str]] = None
+        self._merged: List[str] = []
+
+    def _start_merge_if_needed(self) -> None:
+        if self._left_run is None and len(self._runs) >= 2:
+            self._left_run = self._runs.pop(0)
+            self._right_run = self._runs.pop(0)
+            self._merged = []
+
+    def _advance(self) -> Optional[Tuple[str, str]]:
+        self._start_merge_if_needed()
+        if self._left_run is None:
+            return None
+        assert self._right_run is not None
+        if not self._left_run or not self._right_run:
+            self._finish_merge()
+            return self._advance()
+        return (self._left_run[0], self._right_run[0])
+
+    def _absorb(self, left: str, right: str, answer: str) -> None:
+        assert self._left_run is not None and self._right_run is not None
+        if answer == ANSWER_RIGHT:
+            self._merged.append(self._right_run.pop(0))
+        else:
+            self._merged.append(self._left_run.pop(0))
+        if not self._left_run or not self._right_run:
+            self._finish_merge()
+
+    def _finish_merge(self) -> None:
+        assert self._left_run is not None and self._right_run is not None
+        self._merged.extend(self._left_run)
+        self._merged.extend(self._right_run)
+        self._runs.append(self._merged)
+        self._left_run = None
+        self._right_run = None
+        self._merged = []
+
+    def ranking(self) -> List[str]:
+        if self._left_run is not None or len(self._runs) != 1:
+            # Ranking of an unfinished sort: best-effort concatenation.
+            partial: List[str] = []
+            if self._left_run is not None:
+                partial.extend(self._merged + self._left_run + (self._right_run or []))
+            for run in self._runs:
+                partial.extend(run)
+            seen = set()
+            return [v for v in partial if not (v in seen or seen.add(v))]
+        return list(self._runs[0])
+
+
+def drive_scheduler(scheduler: _SchedulerBase, comparator) -> List[str]:
+    """Run a scheduler to completion with ``comparator(left, right) -> answer``.
+
+    Returns the final ranking. This is the loop the browser extension runs,
+    factored out for direct use by tests and the scheduling ablation bench.
+    """
+    while True:
+        pair = scheduler.next_pair()
+        if pair is None:
+            break
+        scheduler.report(comparator(*pair))
+    return scheduler.ranking()

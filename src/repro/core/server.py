@@ -1,0 +1,196 @@
+"""The core server (§III-C).
+
+"The core server is the key element connecting the test resources, browser
+extension, and crowdsourcing platform. It has four main functions: post the
+test task to the crowdsourcing platform, provide test resources to the
+browser extension, collect responses from participants, and analyze the
+final results."
+
+The paper's NodeJS/Ajax server becomes a :class:`~repro.net.http.HttpServer`
+on the simulated network, with the paper's three MongoDB collections behind
+it. Routes:
+
+====== ============================== ============================================
+GET    /tests/:test_id                 test info (id, questions, integrated list)
+GET    /resources/*path                a stored file (integrated page, version)
+POST   /responses                      upload one participant's results
+GET    /results/:test_id               concluded analysis for a test
+POST   /tasks                          post a prepared test to the crowd platform
+====== ============================== ============================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.aggregator import (
+    INTEGRATED_COLLECTION,
+    RESPONSES_COLLECTION,
+    TESTS_COLLECTION,
+)
+from repro.core.analysis import analyze_responses
+from repro.core.extension import ParticipantResult
+from repro.errors import StorageError
+from repro.net.http import HttpServer, Request, Response, Router
+from repro.storage.documentstore import DocumentStore
+from repro.storage.filestore import FileStore
+
+
+class CoreServer:
+    """The Kaleidoscope core server bound to its database and storage."""
+
+    def __init__(
+        self,
+        database: DocumentStore,
+        storage: FileStore,
+        host: str = "kaleidoscope.local",
+        platform=None,
+    ):
+        self.database = database
+        self.storage = storage
+        self.platform = platform
+        self.http = HttpServer(host, self._build_router())
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.get("/tests/:test_id", self._handle_get_test)
+        router.get("/resources/*path", self._handle_get_resource)
+        router.post("/responses", self._handle_post_response)
+        router.get("/results/:test_id", self._handle_get_results)
+        router.post("/tasks", self._handle_post_task)
+        return router
+
+    @property
+    def host(self) -> str:
+        return self.http.host
+
+    def url(self, path: str) -> str:
+        """Absolute URL for a server path."""
+        return f"http://{self.host}{path}"
+
+    # -- function 2: provide test resources ----------------------------------
+
+    def _handle_get_test(self, request: Request) -> Response:
+        test_id = request.params["test_id"]
+        record = self.database.collection(TESTS_COLLECTION).find_one({"test_id": test_id})
+        if record is None:
+            return Response.not_found(f"test {test_id!r}")
+        integrated = self.database.collection(INTEGRATED_COLLECTION).find(
+            {"test_id": test_id}
+        )
+        record.pop("_id", None)
+        for row in integrated:
+            row.pop("_id", None)
+        record["integrated"] = integrated
+        return Response.json_response(record)
+
+    def _handle_get_resource(self, request: Request) -> Response:
+        path = request.params["path"]
+        try:
+            content = self.storage.read(path)
+        except StorageError:
+            return Response.not_found(path)
+        content_type = "text/html" if path.endswith(".html") else "text/plain"
+        return Response.text_response(content, content_type)
+
+    # -- function 3: collect responses ---------------------------------------
+
+    def _handle_post_response(self, request: Request) -> Response:
+        payload = request.json()
+        try:
+            result = ParticipantResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            return Response.bad_request(f"malformed response upload: {exc}")
+        tests = self.database.collection(TESTS_COLLECTION)
+        if tests.find_one({"test_id": result.test_id}) is None:
+            return Response.bad_request(f"unknown test {result.test_id!r}")
+        responses = self.database.collection(RESPONSES_COLLECTION)
+        duplicate = responses.find_one(
+            {"test_id": result.test_id, "worker_id": result.worker_id}
+        )
+        if duplicate is not None:
+            return Response.json_response(
+                {"error": "duplicate submission", "worker_id": result.worker_id},
+                status=409,
+            )
+        responses.insert_one(result.as_dict())
+        return Response.json_response(
+            {"status": "stored", "worker_id": result.worker_id}, status=201
+        )
+
+    # -- function 4: conclude results -------------------------------------------
+
+    def _handle_get_results(self, request: Request) -> Response:
+        test_id = request.params["test_id"]
+        record = self.database.collection(TESTS_COLLECTION).find_one({"test_id": test_id})
+        if record is None:
+            return Response.not_found(f"test {test_id!r}")
+        results = self.stored_results(test_id)
+        if not results:
+            return Response.json_response(
+                {"test_id": test_id, "participants": 0, "tallies": []}
+            )
+        question_ids = [q["question_id"] for q in record["parameters"]["question"]]
+        version_ids = [v for v in record["version_ids"]]
+        bundle = analyze_responses(results, question_ids, version_ids)
+        tallies = [
+            {
+                "question_id": tally.question_id,
+                "left_version": tally.left_version,
+                "right_version": tally.right_version,
+                "left": tally.left_count,
+                "right": tally.right_count,
+                "same": tally.same_count,
+                "p_value": tally.preference_p_value(),
+            }
+            for tally in bundle.tallies.values()
+        ]
+        return Response.json_response(
+            {
+                "test_id": test_id,
+                "participants": bundle.participants,
+                "tallies": tallies,
+            }
+        )
+
+    # -- function 1: post the task to the crowdsourcing platform -----------------
+
+    def _handle_post_task(self, request: Request) -> Response:
+        if self.platform is None:
+            return Response.json_response(
+                {"error": "no crowdsourcing platform configured"}, status=503
+            )
+        payload = request.json()
+        for key in ("test_id", "participants_needed", "reward_usd"):
+            if key not in payload:
+                return Response.bad_request(f"missing {key!r}")
+        test_id = payload["test_id"]
+        if self.database.collection(TESTS_COLLECTION).find_one({"test_id": test_id}) is None:
+            return Response.bad_request(f"unknown test {test_id!r}")
+        job = self.platform.post_job(
+            test_id=test_id,
+            participants_needed=int(payload["participants_needed"]),
+            reward_usd=float(payload["reward_usd"]),
+            instructions=payload.get("instructions", ""),
+        )
+        self.database.collection(TESTS_COLLECTION).update_one(
+            {"test_id": test_id}, {"$set": {"status": "posted", "job_id": job.job_id}}
+        )
+        return Response.json_response({"job_id": job.job_id}, status=201)
+
+    # -- direct (non-HTTP) reads used by the campaign ----------------------------
+
+    def stored_results(self, test_id: str) -> List[ParticipantResult]:
+        """All uploaded participant results for a test."""
+        rows = self.database.collection(RESPONSES_COLLECTION).find({"test_id": test_id})
+        results = []
+        for row in rows:
+            row.pop("_id", None)
+            results.append(ParticipantResult.from_dict(row))
+        return results
+
+    def response_count(self, test_id: str) -> int:
+        """Number of uploads so far."""
+        return self.database.collection(RESPONSES_COLLECTION).count({"test_id": test_id})

@@ -1,0 +1,118 @@
+"""Behaviour traces: what the extension monitors while a participant works.
+
+Per side-by-side comparison the extension records how long the participant
+spent, how many tabs they created, and how often they switched the active
+tab (Figure 5). Engagement-based quality control consumes these traces, so
+their distributions must separate worker types the way real traces do:
+
+* trustworthy workers cluster around a comfortable reading time (tens of
+  seconds to ~2 minutes) with few tab distractions;
+* distracted workers produce the long right tail (up to ~3.3 minutes in the
+  paper's raw data) and heavy tab churn — they wander off mid-comparison;
+* spammers produce the short left tail (a few seconds) — too fast to have
+  looked at anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crowd.workers import WorkerProfile, WorkerType
+from repro.util.rng import coerce_rng
+
+
+@dataclass(frozen=True)
+class BehaviorTrace:
+    """Monitoring data for one side-by-side comparison."""
+
+    duration_minutes: float
+    created_tabs: int
+    active_tab_switches: int
+
+    def as_dict(self) -> dict:
+        return {
+            "duration_minutes": self.duration_minutes,
+            "created_tabs": self.created_tabs,
+            "active_tab_switches": self.active_tab_switches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BehaviorTrace":
+        return cls(
+            duration_minutes=float(data["duration_minutes"]),
+            created_tabs=int(data["created_tabs"]),
+            active_tab_switches=int(data["active_tab_switches"]),
+        )
+
+
+# Per-type parameters: (lognormal mu, lognormal sigma, duration cap minutes,
+# extra created-tab rate, extra switch rate). Durations are minutes.
+_DURATION_PARAMS = {
+    WorkerType.TRUSTWORTHY: (-0.55, 0.45, 2.6),
+    WorkerType.DISTRACTED: (0.05, 0.55, 3.4),
+    WorkerType.SPAMMER: (-2.2, 0.6, 0.8),
+}
+_TAB_RATES = {
+    # (created-tab Poisson rate, switch Poisson base)
+    WorkerType.TRUSTWORTHY: (0.35, 2.2),
+    WorkerType.DISTRACTED: (1.6, 5.0),
+    WorkerType.SPAMMER: (0.9, 3.0),
+}
+
+
+def sample_behavior(
+    worker: WorkerProfile,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    in_lab: bool = False,
+) -> BehaviorTrace:
+    """Sample one comparison's behaviour trace for ``worker``.
+
+    ``in_lab`` tightens the distributions: an experimenter in the room keeps
+    participants on task (the paper's longest in-lab comparison was 1.9
+    minutes vs 3.3 raw crowd).
+    """
+    generator = coerce_rng(rng, seed)
+    mu, sigma, cap = _DURATION_PARAMS[worker.worker_type]
+    tab_rate, switch_rate = _TAB_RATES[worker.worker_type]
+    if in_lab:
+        mu -= 0.12
+        sigma *= 0.8
+        cap = min(cap, 2.0)
+        tab_rate *= 0.5
+        switch_rate *= 0.8
+    duration = float(generator.lognormal(mu, sigma)) * worker.speed_factor
+    duration = float(min(duration, cap))
+    duration = max(duration, 0.03)
+    created = int(generator.poisson(tab_rate * max(duration, 0.2)))
+    # Active-tab count as logged by the extension: at least the two test tabs
+    # (instructions + integrated page), plus churn proportional to duration
+    # and distraction.
+    switches = 2 + int(generator.poisson(switch_rate * max(duration, 0.2)))
+    return BehaviorTrace(
+        duration_minutes=duration,
+        created_tabs=created,
+        active_tab_switches=min(switches, 14),
+    )
+
+
+def engagement_score(trace: BehaviorTrace) -> float:
+    """A scalar engagement indicator in [0, 1].
+
+    1 near the "comfortable" region (20s-2min, little tab churn); low for
+    both rushed and wandering traces — the paper's observation that *both*
+    very short and very long times indicate low-quality work.
+    """
+    duration = trace.duration_minutes
+    if duration < 0.15:
+        time_component = duration / 0.15
+    elif duration <= 2.0:
+        time_component = 1.0
+    else:
+        time_component = max(0.0, 1.0 - (duration - 2.0) / 1.5)
+    churn = trace.created_tabs + max(0, trace.active_tab_switches - 3)
+    churn_component = 1.0 / (1.0 + 0.35 * churn)
+    return time_component * churn_component

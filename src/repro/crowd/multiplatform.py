@@ -1,0 +1,243 @@
+"""Parallel campaigns across multiple crowdsourcing platforms.
+
+§IV-B note 3: Kaleidoscope can be sped up "via higher rewards and/or via
+additional crowdsourcing websites and parallel campaigns". The paper runs
+only FigureEight; this module implements the extension: several platform
+channels (FigureEight-like, MTurk-like, a volunteer channel) recruit for
+the *same* test concurrently on one virtual clock, and the campaign closes
+when the combined quota is reached.
+
+Unlike :meth:`CrowdPlatform.run_recruitment` (which drives the clock itself
+for a single job), the parallel recruiter is event-driven: each channel
+keeps one pending arrival event in the shared queue, so channels genuinely
+interleave in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.crowd.platform import BASE_ARRIVALS_PER_HOUR, REFERENCE_REWARD_USD
+from repro.crowd.workers import (
+    FIGURE_EIGHT_TRUSTWORTHY_MIX,
+    PopulationMix,
+    WorkerProfile,
+    generate_worker,
+)
+from repro.errors import PlatformError
+from repro.sim.clock import SECONDS_PER_HOUR, SimulationEnvironment
+from repro.util.rng import coerce_rng
+
+# Channel presets. Rates calibrate relative platform sizes: MTurk's pool is
+# larger than FigureEight's; volunteers (colleagues/friends via a shared
+# link) trickle in but cost nothing.
+FIGURE_EIGHT_CHANNEL = "figure-eight"
+MTURK_CHANNEL = "mturk"
+VOLUNTEER_CHANNEL = "volunteers"
+
+_VOLUNTEER_MIX = PopulationMix(
+    trustworthy=0.88, distracted=0.12, spammer=0.0, trustworthy_sigma=0.15
+)
+
+_DEFAULT_RATES = {
+    FIGURE_EIGHT_CHANNEL: BASE_ARRIVALS_PER_HOUR,
+    MTURK_CHANNEL: BASE_ARRIVALS_PER_HOUR * 1.6,
+    VOLUNTEER_CHANNEL: 0.9,
+}
+_DEFAULT_MIXES = {
+    FIGURE_EIGHT_CHANNEL: FIGURE_EIGHT_TRUSTWORTHY_MIX,
+    MTURK_CHANNEL: PopulationMix(trustworthy=0.66, distracted=0.17, spammer=0.17),
+    VOLUNTEER_CHANNEL: _VOLUNTEER_MIX,
+}
+
+
+@dataclass(frozen=True)
+class PlatformChannel:
+    """One crowdsourcing channel recruiting in parallel."""
+
+    name: str
+    base_rate_per_hour: float
+    channel_mix: PopulationMix
+    reward_usd: float
+
+    def __post_init__(self):
+        if self.base_rate_per_hour <= 0:
+            raise PlatformError(f"channel {self.name!r} needs a positive rate")
+        if self.reward_usd < 0:
+            raise PlatformError("reward must be >= 0")
+
+    def arrival_rate_per_hour(self, hour_of_day: float) -> float:
+        """Reward-elastic, diurnal arrival rate (same model as the single
+        platform, per channel)."""
+        if self.reward_usd == 0:
+            pay_factor = 0.6  # volunteers: goodwill, not pay
+        else:
+            pay_factor = (self.reward_usd / REFERENCE_REWARD_USD) ** 0.6
+        diurnal = 0.8 + 0.2 * np.sin(2.0 * np.pi * (hour_of_day - 14.0) / 24.0)
+        return self.base_rate_per_hour * pay_factor * float(diurnal)
+
+
+def default_channel(name: str, reward_usd: float = 0.10) -> PlatformChannel:
+    """A preset channel by name ('figure-eight', 'mturk', 'volunteers')."""
+    if name not in _DEFAULT_RATES:
+        known = ", ".join(sorted(_DEFAULT_RATES))
+        raise PlatformError(f"unknown channel {name!r}; known: {known}")
+    if name == VOLUNTEER_CHANNEL:
+        reward_usd = 0.0
+    return PlatformChannel(
+        name=name,
+        base_rate_per_hour=_DEFAULT_RATES[name],
+        channel_mix=_DEFAULT_MIXES[name],
+        reward_usd=reward_usd,
+    )
+
+
+@dataclass
+class ChannelArrival:
+    """One recruit with its originating channel."""
+
+    worker: WorkerProfile
+    channel: str
+    arrival_time_s: float
+
+
+@dataclass
+class ParallelRecruitmentResult:
+    """Outcome of one parallel campaign."""
+
+    arrivals: List[ChannelArrival] = field(default_factory=list)
+    completion_time_s: Optional[float] = None
+
+    @property
+    def total_recruited(self) -> int:
+        return len(self.arrivals)
+
+    def per_channel_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for arrival in self.arrivals:
+            counts[arrival.channel] = counts.get(arrival.channel, 0) + 1
+        return counts
+
+    _cost: float = 0.0
+
+    @property
+    def total_cost_usd(self) -> float:
+        """Total payout across all channels."""
+        return self._cost
+
+    def completion_hours(self) -> Optional[float]:
+        if self.completion_time_s is None:
+            return None
+        return self.completion_time_s / SECONDS_PER_HOUR
+
+
+class ParallelRecruiter:
+    """Recruits one combined quota across several channels concurrently."""
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        channels: List[PlatformChannel],
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ):
+        if not channels:
+            raise PlatformError("need at least one channel")
+        names = [c.name for c in channels]
+        if len(set(names)) != len(names):
+            raise PlatformError("channel names must be unique")
+        self.env = env
+        self.channels = channels
+        self._rng = coerce_rng(rng, seed)
+
+    def run(
+        self,
+        participants_needed: int,
+        on_recruit: Optional[Callable[[WorkerProfile, str, float], None]] = None,
+        max_duration_s: float = 14 * 24 * SECONDS_PER_HOUR,
+    ) -> ParallelRecruitmentResult:
+        """Run all channels until the combined quota (or the deadline)."""
+        if participants_needed <= 0:
+            raise PlatformError("participants_needed must be positive")
+        result = ParallelRecruitmentResult()
+        start = self.env.now
+        deadline = start + max_duration_s
+        counter = {"cost": 0.0, "index": 0}
+
+        def schedule_next(channel: PlatformChannel):
+            hour_of_day = (self.env.now / SECONDS_PER_HOUR) % 24.0
+            rate = channel.arrival_rate_per_hour(hour_of_day)
+            gap_s = float(self._rng.exponential(1.0 / max(rate, 1e-9))) * SECONDS_PER_HOUR
+            fire_at = self.env.now + gap_s
+            if fire_at > deadline:
+                return
+
+            def arrive():
+                if result.total_recruited >= participants_needed:
+                    return
+                worker = generate_worker(
+                    f"{channel.name}-w{counter['index']:04d}",
+                    channel.channel_mix,
+                    rng=self._rng,
+                )
+                counter["index"] += 1
+                counter["cost"] += channel.reward_usd
+                result.arrivals.append(
+                    ChannelArrival(
+                        worker=worker,
+                        channel=channel.name,
+                        arrival_time_s=self.env.now - start,
+                    )
+                )
+                if on_recruit is not None:
+                    on_recruit(worker, channel.name, self.env.now - start)
+                if result.total_recruited >= participants_needed:
+                    result.completion_time_s = self.env.now - start
+                else:
+                    schedule_next(channel)
+
+            self.env.schedule_at(fire_at, arrive, label=f"arrival:{channel.name}")
+
+        for channel in self.channels:
+            schedule_next(channel)
+        self.env.run(
+            stop_when=lambda: result.total_recruited >= participants_needed,
+            until=deadline,
+        )
+        result._cost = counter["cost"]
+        return result
+
+
+def speedup_matrix(
+    participants_needed: int = 100,
+    rewards=(0.05, 0.10, 0.20, 0.40),
+    channel_sets=(
+        (FIGURE_EIGHT_CHANNEL,),
+        (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL),
+        (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL, VOLUNTEER_CHANNEL),
+    ),
+    seed: int = 0,
+) -> List[dict]:
+    """Completion time/cost for each (reward, channel set) combination —
+    the quantitative version of the paper's "higher rewards and/or
+    additional crowdsourcing websites" remark."""
+    rows = []
+    for reward in rewards:
+        for channel_names in channel_sets:
+            env = SimulationEnvironment()
+            channels = [default_channel(name, reward) for name in channel_names]
+            recruiter = ParallelRecruiter(env, channels, seed=seed)
+            result = recruiter.run(participants_needed)
+            rows.append(
+                {
+                    "reward_usd": reward,
+                    "channels": "+".join(channel_names),
+                    "hours": result.completion_hours(),
+                    "cost_usd": result.total_cost_usd,
+                    "per_channel": result.per_channel_counts(),
+                }
+            )
+    return rows

@@ -1,0 +1,148 @@
+"""Worker reputation: how a platform builds "historically trustworthy".
+
+The paper leans on FigureEight's "historically trustworthy" channel and
+finds it "does well in recruiting trusted participants". That history has
+to come from somewhere: platforms accumulate per-worker control-question
+outcomes across jobs and gate future recruitment on the resulting score.
+:class:`ReputationLedger` implements that loop for the simulated platform:
+
+* every control-pair answer (and engagement screen) a worker produces is
+  recorded as a pass/fail trial;
+* a worker's score is the Beta-posterior mean of their pass rate (a
+  ``Beta(a0, b0)`` prior keeps new workers employable without trusting
+  them outright);
+* a campaign can require a minimum score, excluding workers whose history
+  is bad — so channel quality *improves over successive jobs*, which the
+  ledger tests and the repeat-campaign scenario verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # imported lazily to avoid a crowd <-> core import cycle
+    from repro.core.extension import ParticipantResult
+    from repro.core.quality import QualityReport
+
+
+@dataclass
+class WorkerRecord:
+    """Accumulated trials for one worker."""
+
+    passes: int = 0
+    failures: int = 0
+
+    @property
+    def trials(self) -> int:
+        return self.passes + self.failures
+
+
+@dataclass
+class ReputationLedger:
+    """Per-worker pass/fail history with a Beta prior.
+
+    ``prior_passes``/``prior_failures`` encode the platform's default trust
+    in an unknown worker: the 4/1 default says a fresh account is treated
+    as 80% reliable until evidence says otherwise.
+    """
+
+    prior_passes: float = 4.0
+    prior_failures: float = 1.0
+    records: Dict[str, WorkerRecord] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.prior_passes <= 0 or self.prior_failures <= 0:
+            raise ValidationError("Beta prior parameters must be positive")
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, worker_id: str, passed: bool) -> None:
+        """Record one trial."""
+        record = self.records.setdefault(worker_id, WorkerRecord())
+        if passed:
+            record.passes += 1
+        else:
+            record.failures += 1
+
+    def record_control_answers(self, result: "ParticipantResult") -> int:
+        """Record every control-pair answer in one upload; returns count."""
+        recorded = 0
+        for answer in result.answers:
+            if not answer.is_control:
+                continue
+            expected = self._expected_answer(answer)
+            if not expected:
+                continue
+            self.record(result.worker_id, answer.answer == expected)
+            recorded += 1
+        return recorded
+
+    @staticmethod
+    def _expected_answer(answer) -> str:
+        if answer.left_version == answer.right_version:
+            return "same"
+        if answer.left_version == "__contrast__":
+            return "right"
+        if answer.right_version == "__contrast__":
+            return "left"
+        return ""
+
+    def record_quality_report(self, report: "QualityReport") -> None:
+        """Record a whole campaign's quality outcome: kept participants
+        pass, dropped participants fail — the platform-side view of the
+        experimenter's accept/reject decision."""
+        for result in report.kept:
+            self.record(result.worker_id, True)
+        for drop in report.dropped:
+            self.record(drop.worker_id, False)
+
+    # -- scoring ----------------------------------------------------------
+
+    def score(self, worker_id: str) -> float:
+        """Posterior-mean reliability in (0, 1)."""
+        record = self.records.get(worker_id, WorkerRecord())
+        numerator = self.prior_passes + record.passes
+        denominator = (
+            self.prior_passes + self.prior_failures + record.trials
+        )
+        return numerator / denominator
+
+    def is_trusted(self, worker_id: str, threshold: float = 0.75) -> bool:
+        """The recruitment gate: does this worker's history clear the bar?"""
+        if not 0.0 < threshold < 1.0:
+            raise ValidationError("threshold must be in (0, 1)")
+        return self.score(worker_id) >= threshold
+
+    def trusted_workers(self, threshold: float = 0.75) -> List[str]:
+        """Known workers clearing the bar, best score first."""
+        qualifying = [
+            (worker_id, self.score(worker_id))
+            for worker_id in self.records
+            if self.is_trusted(worker_id, threshold)
+        ]
+        qualifying.sort(key=lambda item: (-item[1], item[0]))
+        return [worker_id for worker_id, _ in qualifying]
+
+    def summary(self) -> Tuple[int, float]:
+        """(known workers, mean score) — channel-health reporting."""
+        if not self.records:
+            return (0, self.score("__nobody__"))
+        scores = [self.score(worker_id) for worker_id in self.records]
+        return (len(self.records), sum(scores) / len(scores))
+
+
+def repeat_campaign_kept_rates(
+    ledger: ReputationLedger,
+    reports: Sequence["QualityReport"],
+) -> List[float]:
+    """Feed successive campaigns' quality reports into a ledger and return
+    each campaign's kept-rate — the longitudinal channel-quality curve."""
+    rates = []
+    for report in reports:
+        total = len(report.kept) + len(report.dropped)
+        rates.append(len(report.kept) / total if total else 0.0)
+        ledger.record_quality_report(report)
+    return rates

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the Kaleidoscope reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while the
+specific subclasses keep failure modes distinguishable in tests and logs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class HTMLParseError(ReproError):
+    """Raised when the HTML tokenizer or tree builder hits malformed input
+    that cannot be recovered by the (forgiving) error-correction rules."""
+
+
+class CSSParseError(ReproError):
+    """Raised on unrecoverable CSS syntax errors."""
+
+
+class SelectorError(ReproError):
+    """Raised when a CSS selector string cannot be compiled."""
+
+
+class ValidationError(ReproError):
+    """Raised when test parameters or other user input fail validation.
+
+    Carries the ``field`` the failure refers to when one is known.
+    """
+
+    def __init__(self, message: str, field: str = ""):
+        super().__init__(message)
+        self.field = field
+
+
+class StorageError(ReproError):
+    """Base class for document-store and file-store failures."""
+
+
+class DuplicateKeyError(StorageError):
+    """Raised on unique-index violations in the document store."""
+
+
+class QueryError(StorageError):
+    """Raised when a query or update document uses an unknown operator."""
+
+
+class NetworkError(ReproError):
+    """Raised by the simulated network layer (unroutable host, closed server)."""
+
+
+class FetchError(NetworkError):
+    """Raised when a resource fetch fails (non-2xx status or missing host)."""
+
+    def __init__(self, message: str, url: str = "", status: int = 0):
+        super().__init__(message)
+        self.url = url
+        self.status = status
+
+
+class AggregationError(ReproError):
+    """Raised by the aggregator when test data cannot be prepared."""
+
+
+class CampaignError(ReproError):
+    """Raised when a campaign is orchestrated inconsistently (e.g. analyzing
+    before any responses were collected)."""
+
+
+class ExtensionError(ReproError):
+    """Raised by the simulated browser extension for protocol violations
+    (e.g. advancing to the next integrated webpage with unanswered questions)."""
+
+
+class PlatformError(ReproError):
+    """Raised by the simulated crowdsourcing platform (unknown job, over-budget
+    recruitment, double-submission)."""
+
+
+class LayoutError(ReproError):
+    """Raised by the layout engine on documents it cannot lay out."""
+
+
+class ReplayError(ReproError):
+    """Raised for invalid page-load replay schedules."""

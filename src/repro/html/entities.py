@@ -1,0 +1,84 @@
+"""HTML character-reference (entity) encoding and decoding.
+
+Only the named references that appear in real-world page snapshots are
+handled explicitly; numeric references (``&#NNN;`` / ``&#xHH;``) are decoded
+generally. Unknown named references are left verbatim, matching browser
+error-recovery behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+
+NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+    "nbsp": " ",
+    "copy": "©",
+    "reg": "®",
+    "trade": "™",
+    "hellip": "…",
+    "mdash": "—",
+    "ndash": "–",
+    "lsquo": "‘",
+    "rsquo": "’",
+    "ldquo": "“",
+    "rdquo": "”",
+    "deg": "°",
+    "plusmn": "±",
+    "frac12": "½",
+    "times": "×",
+    "divide": "÷",
+    "euro": "€",
+    "pound": "£",
+    "yen": "¥",
+    "cent": "¢",
+    "sect": "§",
+    "para": "¶",
+    "middot": "·",
+    "laquo": "«",
+    "raquo": "»",
+    "bull": "•",
+}
+
+_ENTITY_RE = re.compile(r"&(#[xX]?[0-9a-fA-F]+|[a-zA-Z][a-zA-Z0-9]*);")
+
+
+def _decode_one(match: re.Match) -> str:
+    body = match.group(1)
+    if body.startswith("#x") or body.startswith("#X"):
+        try:
+            return chr(int(body[2:], 16))
+        except (ValueError, OverflowError):
+            return match.group(0)
+    if body.startswith("#"):
+        try:
+            return chr(int(body[1:], 10))
+        except (ValueError, OverflowError):
+            return match.group(0)
+    return NAMED_ENTITIES.get(body, match.group(0))
+
+
+def decode_entities(text: str) -> str:
+    """Decode named and numeric character references in ``text``."""
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(_decode_one, text)
+
+
+def encode_text(text: str) -> str:
+    """Encode text-node content: only ``& < >`` must be escaped."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def encode_attribute(text: str) -> str:
+    """Encode attribute-value content for double-quoted serialization."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

@@ -1,0 +1,106 @@
+"""URL parsing and resolution for the simulated web.
+
+The simulated network addresses resources with simplified absolute URLs of
+the form ``scheme://host/path``; documents reference them relatively. This
+module resolves relative references against a base URL (RFC 3986 merge
+semantics, minus queries/fragments beyond pass-through) without depending on
+a live network stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SplitUrl:
+    """A URL split into scheme, host and path."""
+
+    scheme: str
+    host: str
+    path: str
+
+    def unsplit(self) -> str:
+        return f"{self.scheme}://{self.host}{self.path}"
+
+
+def split_url(url: str) -> SplitUrl:
+    """Split an absolute URL; raises ValueError for relative input."""
+    if "://" not in url:
+        raise ValueError(f"not an absolute URL: {url!r}")
+    scheme, _, rest = url.partition("://")
+    host, slash, path = rest.partition("/")
+    return SplitUrl(scheme.lower(), host.lower(), "/" + path if slash else "/")
+
+
+def is_absolute(url: str) -> bool:
+    """True for scheme-qualified URLs."""
+    return "://" in url
+
+
+def is_data_url(url: str) -> bool:
+    """True for ``data:`` URLs (already inlined content)."""
+    return url.startswith("data:")
+
+
+def normalize_path(path: str) -> str:
+    """Collapse ``.`` and ``..`` segments; always absolute."""
+    segments = path.split("/")
+    output = []
+    for segment in segments:
+        if segment in ("", "."):
+            continue
+        if segment == "..":
+            if output:
+                output.pop()
+        else:
+            output.append(segment)
+    normalized = "/" + "/".join(output)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized
+
+
+def resolve_url(base: str, reference: str) -> str:
+    """Resolve ``reference`` against absolute ``base``."""
+    reference = reference.strip()
+    if is_data_url(reference) or is_absolute(reference):
+        return reference
+    base_split = split_url(base)
+    if reference.startswith("//"):
+        # Protocol-relative.
+        return f"{base_split.scheme}:{reference}"
+    if reference.startswith("/"):
+        return SplitUrl(base_split.scheme, base_split.host, normalize_path(reference)).unsplit()
+    if reference.startswith("#") or reference == "":
+        return base
+    # Relative path: merge with the base directory.
+    directory = base_split.path.rsplit("/", 1)[0] + "/"
+    merged = normalize_path(directory + reference)
+    return SplitUrl(base_split.scheme, base_split.host, merged).unsplit()
+
+
+def guess_content_type(path: str) -> str:
+    """Content type from a path extension (simulated-server helper)."""
+    lower = path.lower()
+    mapping: Tuple[Tuple[str, str], ...] = (
+        (".html", "text/html"),
+        (".htm", "text/html"),
+        (".css", "text/css"),
+        (".js", "application/javascript"),
+        (".json", "application/json"),
+        (".png", "image/png"),
+        (".jpg", "image/jpeg"),
+        (".jpeg", "image/jpeg"),
+        (".gif", "image/gif"),
+        (".svg", "image/svg+xml"),
+        (".ico", "image/x-icon"),
+        (".woff", "font/woff"),
+        (".woff2", "font/woff2"),
+        (".txt", "text/plain"),
+    )
+    for suffix, content_type in mapping:
+        if lower.endswith(suffix):
+            return content_type
+    return "application/octet-stream"

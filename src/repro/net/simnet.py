@@ -1,0 +1,153 @@
+"""The simulated network tying hosts, profiles and the virtual clock together.
+
+A :class:`SimulatedNetwork` routes :class:`~repro.net.http.Request` objects
+to registered :class:`~repro.net.http.HttpServer` hosts. Each exchange is
+timed against a :class:`~repro.net.profiles.NetworkProfile` and, when the
+network is bound to a :class:`~repro.sim.SimulationEnvironment`, advances the
+shared virtual clock — so a participant on a "3g" profile genuinely takes
+longer to download an integrated webpage than one on "fiber".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.http import HttpServer, Request, Response
+from repro.net.profiles import NetworkProfile, get_profile
+from repro.sim.clock import SimulationEnvironment
+
+
+@dataclass
+class ExchangeRecord:
+    """One logged request/response exchange."""
+
+    time: float
+    host: str
+    method: str
+    path: str
+    status: int
+    elapsed_seconds: float
+    request_bytes: int
+    response_bytes: int
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate counters for a network."""
+
+    requests: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    errors: int = 0
+
+
+class SimulatedNetwork:
+    """Routes requests to hosts and accounts for transfer time."""
+
+    def __init__(self, env: Optional[SimulationEnvironment] = None):
+        self.env = env
+        self._hosts: Dict[str, HttpServer] = {}
+        self.log: List[ExchangeRecord] = []
+        self.stats = TrafficStats()
+
+    # -- topology ---------------------------------------------------------
+
+    def attach(self, server: HttpServer) -> HttpServer:
+        """Attach a server; its host becomes routable."""
+        if server.host in self._hosts:
+            raise NetworkError(f"host {server.host!r} already attached")
+        self._hosts[server.host] = server
+        return server
+
+    def detach(self, host: str) -> None:
+        """Remove a host from the network."""
+        self._hosts.pop(host.lower(), None)
+
+    def hosts(self) -> List[str]:
+        """Sorted attached host names."""
+        return sorted(self._hosts)
+
+    # -- exchanges --------------------------------------------------------
+
+    def exchange(
+        self,
+        request: Request,
+        profile: Optional[NetworkProfile] = None,
+    ) -> Tuple[Response, float]:
+        """Send a request; returns ``(response, elapsed_seconds)``.
+
+        When the network has a simulation environment, the virtual clock is
+        advanced by the elapsed time (requests are modelled as blocking the
+        issuing participant).
+        """
+        profile = profile or get_profile("cable")
+        host = request.host
+        server = self._hosts.get(host)
+        if server is None:
+            self.stats.errors += 1
+            raise NetworkError(f"no route to host {host!r}")
+        response = server.handle(request)
+        elapsed = profile.request_seconds(request.size_bytes, response.size_bytes)
+        now = self.env.now if self.env is not None else 0.0
+        self.log.append(
+            ExchangeRecord(
+                time=now,
+                host=host,
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                elapsed_seconds=elapsed,
+                request_bytes=request.size_bytes,
+                response_bytes=response.size_bytes,
+            )
+        )
+        self.stats.requests += 1
+        self.stats.bytes_up += request.size_bytes
+        self.stats.bytes_down += response.size_bytes
+        if not response.ok:
+            self.stats.errors += 1
+        if self.env is not None:
+            self.env.schedule_in(elapsed, lambda: None, label="net-transfer")
+            self.env.run(until=self.env.now + elapsed)
+        return response, elapsed
+
+    def get(self, url: str, profile: Optional[NetworkProfile] = None) -> Response:
+        """Convenience GET; returns just the response."""
+        response, _ = self.exchange(Request.get(url), profile)
+        return response
+
+    def post_json(
+        self, url: str, payload, profile: Optional[NetworkProfile] = None
+    ) -> Response:
+        """Convenience JSON POST."""
+        response, _ = self.exchange(Request.post_json(url, payload), profile)
+        return response
+
+
+class Client:
+    """A participant-side HTTP client pinned to one network profile.
+
+    Accumulates per-client transfer time so the extension can report how long
+    a participant spent downloading test resources.
+    """
+
+    def __init__(self, network: SimulatedNetwork, profile: NetworkProfile):
+        self.network = network
+        self.profile = profile
+        self.total_transfer_seconds = 0.0
+        self.requests_made = 0
+
+    def request(self, request: Request) -> Response:
+        """Issue a request over this client's profile."""
+        response, elapsed = self.network.exchange(request, self.profile)
+        self.total_transfer_seconds += elapsed
+        self.requests_made += 1
+        return response
+
+    def get(self, url: str) -> Response:
+        return self.request(Request.get(url))
+
+    def post_json(self, url: str, payload) -> Response:
+        return self.request(Request.post_json(url, payload))

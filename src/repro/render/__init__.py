@@ -1,0 +1,40 @@
+"""Render substrate: layout, page-load replay, paint timeline, visual metrics.
+
+The paper's page-load feature controls *when each DOM becomes visible* and
+evaluates the result with visual metrics (Time to First Paint, Above-the-fold
+time, Speed Index, user-perceived PLT). This package computes element
+geometry with a block layout engine, executes replay schedules into a paint
+timeline, and derives the metrics from that timeline — the Python equivalent
+of the JavaScript function Kaleidoscope injects into test webpages.
+"""
+
+from repro.render.box import Box, Viewport
+from repro.render.layout import LayoutEngine, LayoutResult
+from repro.render.replay import (
+    RevealSchedule,
+    SelectorSchedule,
+    UniformRandomSchedule,
+    compute_reveal_times,
+)
+from repro.render.paint import PaintEvent, PaintTimeline, build_paint_timeline
+from repro.render.metrics import VisualMetrics, compute_visual_metrics
+from repro.render.filmstrip import Filmstrip, Frame, build_filmstrip
+
+__all__ = [
+    "Filmstrip",
+    "Frame",
+    "build_filmstrip",
+    "Box",
+    "Viewport",
+    "LayoutEngine",
+    "LayoutResult",
+    "RevealSchedule",
+    "SelectorSchedule",
+    "UniformRandomSchedule",
+    "compute_reveal_times",
+    "PaintEvent",
+    "PaintTimeline",
+    "build_paint_timeline",
+    "VisualMetrics",
+    "compute_visual_metrics",
+]

@@ -1,0 +1,107 @@
+"""Visual page-load metrics.
+
+Implements the metrics the paper positions Kaleidoscope's replay feature
+against: onload-style Page Load Time, Time to First Paint, Above-the-fold
+time, and Speed Index, all computed from a :class:`PaintTimeline`. The
+paper's central observation — two loads can share the same ATF time yet have
+different user-perceived load times — falls straight out of these
+definitions, and the Figure 9 experiment exercises exactly that.
+
+uPLT itself is a *perceived* quantity; its perception model lives with the
+other human models in :mod:`repro.crowd.judgment`. Here we expose the
+objective proxy ``visually_ready_ms`` (time to a completeness threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.render.paint import PaintTimeline
+
+DEFAULT_READY_THRESHOLD = 0.85
+
+
+@dataclass(frozen=True)
+class VisualMetrics:
+    """Objective visual metrics of one page load (all milliseconds except
+    ``speed_index``, which has the usual SI millisecond-weighted unit)."""
+
+    page_load_time_ms: float
+    time_to_first_paint_ms: float
+    above_the_fold_ms: float
+    speed_index: float
+    visually_ready_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "page_load_time_ms": self.page_load_time_ms,
+            "time_to_first_paint_ms": self.time_to_first_paint_ms,
+            "above_the_fold_ms": self.above_the_fold_ms,
+            "speed_index": self.speed_index,
+            "visually_ready_ms": self.visually_ready_ms,
+        }
+
+
+def speed_index(timeline: PaintTimeline) -> float:
+    """WebPageTest Speed Index: integral over time of (1 - completeness).
+
+    Lower is better; equals the mean time at which an above-the-fold pixel
+    appears.
+    """
+    curve = timeline.completeness_curve()
+    if len(curve) == 1:
+        return curve[0][0]
+    total = 0.0
+    for (t0, fraction), (t1, _) in zip(curve, curve[1:]):
+        total += (1.0 - fraction) * (t1 - t0)
+    # Everything before the first curve point is fully unpainted.
+    first_time = curve[0][0]
+    total += first_time  # completeness 0 on [0, first_time)
+    # Subtract the double-counted leading segment when curve starts at 0.
+    if curve[0][0] == 0.0:
+        total -= 0.0
+    return total
+
+
+def above_the_fold_time(timeline: PaintTimeline) -> float:
+    """Time at which the last above-the-fold pixel is painted."""
+    atf_events = [e for e in timeline.events if e.atf_area > 0]
+    if not atf_events:
+        return 0.0
+    return max(e.time_ms for e in atf_events)
+
+
+def time_to_first_paint(timeline: PaintTimeline) -> float:
+    """Time of the first paint event."""
+    return timeline.first_event_ms
+
+
+def page_load_time(timeline: PaintTimeline) -> float:
+    """onload analogue: when every element (fold-irrelevant included) is in."""
+    return timeline.last_event_ms
+
+
+def visually_ready_time(
+    timeline: PaintTimeline, threshold: float = DEFAULT_READY_THRESHOLD
+) -> float:
+    """First time visual completeness reaches ``threshold``."""
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    for time_ms, fraction in timeline.completeness_curve():
+        if fraction >= threshold:
+            return time_ms
+    return timeline.last_event_ms
+
+
+def compute_visual_metrics(
+    timeline: PaintTimeline, ready_threshold: float = DEFAULT_READY_THRESHOLD
+) -> VisualMetrics:
+    """Compute the full metric set for one timeline."""
+    return VisualMetrics(
+        page_load_time_ms=page_load_time(timeline),
+        time_to_first_paint_ms=time_to_first_paint(timeline),
+        above_the_fold_ms=above_the_fold_time(timeline),
+        speed_index=speed_index(timeline),
+        visually_ready_ms=visually_ready_time(timeline, ready_threshold),
+    )

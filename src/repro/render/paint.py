@@ -1,0 +1,129 @@
+"""Paint timeline: reveal schedule x layout -> visual progress over time.
+
+A paint event is "this element's box became visible at time t". The timeline
+aggregates events into the visual-completeness curve (fraction of final
+above-the-fold pixels painted as a function of time) from which every visual
+metric in :mod:`repro.render.metrics` is derived — the same construction
+WebPageTest uses for Speed Index, with painted element boxes standing in for
+video frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.html.dom import Document
+from repro.render.box import Box, Viewport, DEFAULT_VIEWPORT
+from repro.render.layout import LayoutEngine, LayoutResult
+from repro.render.replay import RevealSchedule, compute_reveal_times
+
+
+@dataclass(frozen=True)
+class PaintEvent:
+    """One element becoming visible."""
+
+    time_ms: float
+    element_tag: str
+    element_id: str
+    box: Box
+    atf_area: float  # the part of the box above the fold
+
+
+@dataclass
+class PaintTimeline:
+    """All paint events of one page load, ordered by time."""
+
+    events: List[PaintEvent] = field(default_factory=list)
+    viewport: Viewport = DEFAULT_VIEWPORT
+    total_atf_area: float = 0.0
+    page_height: float = 0.0
+
+    @property
+    def last_event_ms(self) -> float:
+        """Time of the final paint (0 for an empty page)."""
+        if not self.events:
+            return 0.0
+        return max(event.time_ms for event in self.events)
+
+    @property
+    def first_event_ms(self) -> float:
+        """Time of the first paint (0 for an empty page)."""
+        if not self.events:
+            return 0.0
+        return min(event.time_ms for event in self.events)
+
+    def completeness_curve(self) -> List[Tuple[float, float]]:
+        """Piecewise-constant visual completeness: (time_ms, fraction).
+
+        The fraction is cumulative above-the-fold painted area divided by the
+        final above-the-fold painted area. Starts at (0, 0) when nothing is
+        painted at t=0; ends at (last_event, 1.0).
+        """
+        if self.total_atf_area <= 0:
+            return [(0.0, 1.0)]
+        ordered = sorted(self.events, key=lambda e: e.time_ms)
+        curve: List[Tuple[float, float]] = []
+        painted = 0.0
+        if not ordered or ordered[0].time_ms > 0:
+            curve.append((0.0, 0.0))
+        index = 0
+        while index < len(ordered):
+            time_ms = ordered[index].time_ms
+            while index < len(ordered) and ordered[index].time_ms == time_ms:
+                painted += ordered[index].atf_area
+                index += 1
+            curve.append((time_ms, min(1.0, painted / self.total_atf_area)))
+        return curve
+
+    def completeness_at(self, time_ms: float) -> float:
+        """Visual completeness at a given time."""
+        value = 0.0
+        for t, fraction in self.completeness_curve():
+            if t <= time_ms:
+                value = fraction
+            else:
+                break
+        return value
+
+
+def build_paint_timeline(
+    document: Document,
+    schedule: RevealSchedule,
+    viewport: Viewport = DEFAULT_VIEWPORT,
+    rng: Optional[np.random.Generator] = None,
+    seed: Optional[int] = None,
+    layout: Optional[LayoutResult] = None,
+) -> PaintTimeline:
+    """Lay out ``document``, execute ``schedule``, and return the timeline.
+
+    Only paintable leaves (text-bearing elements and images) emit events;
+    containers would double-count the same pixels. An existing ``layout``
+    may be passed to amortize layout across many replays of the same page.
+    """
+    if layout is None:
+        layout = LayoutEngine(viewport).layout(document)
+    reveal_times = compute_reveal_times(document, schedule, rng=rng, seed=seed)
+    timeline = PaintTimeline(viewport=viewport, page_height=layout.page_height)
+    for element in layout.paintable_leaves():
+        box = layout.box_of(element)
+        if box is None or box.area <= 0:
+            continue
+        time_ms = reveal_times.get(id(element))
+        if time_ms is None:
+            continue
+        atf_area = viewport.above_the_fold_area(box)
+        timeline.events.append(
+            PaintEvent(
+                time_ms=time_ms,
+                element_tag=element.tag,
+                element_id=element.id,
+                box=box,
+                atf_area=atf_area,
+            )
+        )
+        timeline.total_atf_area += atf_area
+    timeline.events.sort(key=lambda e: (e.time_ms, e.element_tag, e.element_id))
+    return timeline

@@ -1,0 +1,12 @@
+"""Discrete-event simulation core.
+
+The simulated network, the crowdsourcing recruitment process and the A/B
+traffic model all advance one shared virtual clock through this event loop,
+so "Kaleidoscope took 1 day while A/B took 12 days" is measured in the same
+time base the paper uses (wall-clock days) without actually waiting.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.clock import Clock, SimulationEnvironment
+
+__all__ = ["Event", "EventQueue", "Clock", "SimulationEnvironment"]

@@ -1,0 +1,71 @@
+"""Priority event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence)``: ties in virtual time are broken
+by insertion order, which keeps runs deterministic regardless of callback
+identity (functions are not orderable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``cancelled`` events stay in the heap (removal from a heap is O(n)) but
+    are skipped when popped.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def push(self, time: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` at virtual ``time``; returns a cancellable handle."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, sequence=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None if the queue is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,433 @@
+"""An embedded, Mongo-flavoured document store.
+
+Implements the subset of MongoDB the Kaleidoscope core server relies on:
+
+* schemaless collections of JSON documents with auto-assigned ``_id``;
+* ``find`` with equality matching, dotted paths, and the query operators
+  ``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex $and $or $not``;
+* ``update`` with ``$set $unset $inc $push $pull`` (and whole-document
+  replacement);
+* unique and non-unique single-field indexes (equality lookups use them);
+* sort / skip / limit, ``count``, ``distinct``, and ``delete``.
+
+Documents are deep-copied on the way in and out, so callers can never mutate
+stored state through aliasing — the same isolation a real client/server
+boundary provides.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import DuplicateKeyError, QueryError
+from repro.util.jsonutil import deep_copy_json
+
+_MISSING = object()
+
+
+def get_path(document: dict, path: str):
+    """Resolve a dotted path in a document; returns ``_MISSING`` sentinel absent."""
+    current: Any = document
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        elif isinstance(current, list) and part.isdigit() and int(part) < len(current):
+            current = current[int(part)]
+        else:
+            return _MISSING
+    return current
+
+
+def set_path(document: dict, path: str, value) -> None:
+    """Set a dotted path, creating intermediate objects as needed."""
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        if part not in current or not isinstance(current[part], dict):
+            current[part] = {}
+        current = current[part]
+    current[parts[-1]] = value
+
+
+def unset_path(document: dict, path: str) -> None:
+    """Remove a dotted path if present."""
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        if not isinstance(current, dict) or part not in current:
+            return
+        current = current[part]
+    if isinstance(current, dict):
+        current.pop(parts[-1], None)
+
+
+_COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda value, operand: value == operand,
+    "$ne": lambda value, operand: value != operand,
+    "$gt": lambda value, operand: value is not _MISSING and value > operand,
+    "$gte": lambda value, operand: value is not _MISSING and value >= operand,
+    "$lt": lambda value, operand: value is not _MISSING and value < operand,
+    "$lte": lambda value, operand: value is not _MISSING and value <= operand,
+    "$in": lambda value, operand: value in operand,
+    "$nin": lambda value, operand: value not in operand,
+}
+
+
+def _match_condition(value, condition) -> bool:
+    """Match one field value against a condition (literal or operator doc)."""
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        for op, operand in condition.items():
+            if op in _COMPARATORS:
+                if not _COMPARATORS[op](value, operand):
+                    return False
+            elif op == "$exists":
+                if bool(operand) != (value is not _MISSING):
+                    return False
+            elif op == "$regex":
+                if value is _MISSING or not isinstance(value, str):
+                    return False
+                if re.search(operand, value) is None:
+                    return False
+            elif op == "$not":
+                if _match_condition(value, operand):
+                    return False
+            else:
+                raise QueryError(f"unknown query operator {op!r}")
+        return True
+    if isinstance(value, list) and not isinstance(condition, list):
+        # Mongo semantics: equality against an array matches any element.
+        return condition in value or value == condition
+    if value is _MISSING:
+        return condition is None
+    return value == condition
+
+
+def match_document(document: dict, query: dict) -> bool:
+    """Return True when ``document`` satisfies ``query``."""
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(match_document(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(match_document(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(match_document(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            if not _match_condition(get_path(document, key), condition):
+                return False
+    return True
+
+
+class _Index:
+    """A single-field index: value -> set of _id."""
+
+    def __init__(self, field: str, unique: bool):
+        self.field = field
+        self.unique = unique
+        self.entries: Dict[Any, set] = {}
+
+    def _key(self, document: dict):
+        value = get_path(document, self.field)
+        if value is _MISSING:
+            return None
+        try:
+            hash(value)
+        except TypeError:
+            return None  # unhashable values are simply not indexed
+        return value
+
+    def add(self, document: dict) -> None:
+        key = self._key(document)
+        if key is None:
+            return
+        bucket = self.entries.setdefault(key, set())
+        if self.unique and bucket and document["_id"] not in bucket:
+            raise DuplicateKeyError(
+                f"duplicate value {key!r} for unique index on {self.field!r}"
+            )
+        bucket.add(document["_id"])
+
+    def remove(self, document: dict) -> None:
+        key = self._key(document)
+        if key is None:
+            return
+        bucket = self.entries.get(key)
+        if bucket is not None:
+            bucket.discard(document["_id"])
+            if not bucket:
+                del self.entries[key]
+
+    def lookup(self, value) -> Optional[set]:
+        try:
+            hash(value)
+        except TypeError:
+            return None
+        return self.entries.get(value, set())
+
+
+class Collection:
+    """A named collection of documents."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: Dict[int, dict] = {}
+        self._id_counter = itertools.count(1)
+        self._indexes: Dict[str, _Index] = {}
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- indexes ----------------------------------------------------------
+
+    def create_index(self, field: str, unique: bool = False) -> None:
+        """Create (or replace) a single-field index."""
+        index = _Index(field, unique)
+        for document in self._documents.values():
+            index.add(document)
+        self._indexes[field] = index
+
+    # -- writes -----------------------------------------------------------
+
+    def insert_one(self, document: dict) -> int:
+        """Insert a document; returns the assigned (or provided) ``_id``."""
+        if not isinstance(document, dict):
+            raise QueryError("documents must be dicts")
+        stored = deep_copy_json(document)
+        if "_id" not in stored:
+            stored["_id"] = next(self._id_counter)
+        doc_id = stored["_id"]
+        if doc_id in self._documents:
+            raise DuplicateKeyError(f"_id {doc_id!r} already exists")
+        for index in self._indexes.values():
+            index.add(stored)
+        self._documents[doc_id] = stored
+        return doc_id
+
+    def insert_many(self, documents: Iterable[dict]) -> List[int]:
+        """Insert several documents; returns their ids."""
+        return [self.insert_one(d) for d in documents]
+
+    def update_many(self, query: dict, update: dict) -> int:
+        """Apply an update document to every match; returns the match count."""
+        matched = list(self._iter_matching(query))
+        for document in matched:
+            for index in self._indexes.values():
+                index.remove(document)
+            self._apply_update(document, update)
+            for index in self._indexes.values():
+                index.add(document)
+        return len(matched)
+
+    def update_one(self, query: dict, update: dict) -> int:
+        """Apply an update to the first match; returns 0 or 1."""
+        for document in self._iter_matching(query):
+            for index in self._indexes.values():
+                index.remove(document)
+            self._apply_update(document, update)
+            for index in self._indexes.values():
+                index.add(document)
+            return 1
+        return 0
+
+    def replace_one(self, query: dict, replacement: dict) -> int:
+        """Replace the first match wholesale, keeping its ``_id``."""
+        for document in self._iter_matching(query):
+            for index in self._indexes.values():
+                index.remove(document)
+            doc_id = document["_id"]
+            new_doc = deep_copy_json(replacement)
+            new_doc["_id"] = doc_id
+            self._documents[doc_id] = new_doc
+            for index in self._indexes.values():
+                index.add(new_doc)
+            return 1
+        return 0
+
+    def delete_many(self, query: dict) -> int:
+        """Delete every match; returns the number removed."""
+        matched = list(self._iter_matching(query))
+        for document in matched:
+            for index in self._indexes.values():
+                index.remove(document)
+            del self._documents[document["_id"]]
+        return len(matched)
+
+    @staticmethod
+    def _apply_update(document: dict, update: dict) -> None:
+        has_operator = any(k.startswith("$") for k in update)
+        if not has_operator:
+            doc_id = document["_id"]
+            document.clear()
+            document.update(deep_copy_json(update))
+            document["_id"] = doc_id
+            return
+        for op, spec in update.items():
+            if op == "$set":
+                for path, value in spec.items():
+                    set_path(document, path, deep_copy_json(value))
+            elif op == "$unset":
+                for path in spec:
+                    unset_path(document, path)
+            elif op == "$inc":
+                for path, amount in spec.items():
+                    current = get_path(document, path)
+                    base = 0 if current is _MISSING else current
+                    set_path(document, path, base + amount)
+            elif op == "$push":
+                for path, value in spec.items():
+                    current = get_path(document, path)
+                    if current is _MISSING:
+                        current = []
+                        set_path(document, path, current)
+                    if not isinstance(current, list):
+                        raise QueryError(f"$push target {path!r} is not an array")
+                    current.append(deep_copy_json(value))
+            elif op == "$pull":
+                for path, value in spec.items():
+                    current = get_path(document, path)
+                    if isinstance(current, list):
+                        current[:] = [item for item in current if item != value]
+            else:
+                raise QueryError(f"unknown update operator {op!r}")
+
+    # -- reads ------------------------------------------------------------
+
+    def _candidate_ids(self, query: dict) -> Optional[Iterable[int]]:
+        """Use an index for a top-level equality clause when one exists."""
+        for key, condition in query.items():
+            if key in self._indexes and not isinstance(condition, dict):
+                bucket = self._indexes[key].lookup(condition)
+                if bucket is not None:
+                    return sorted(bucket)
+        return None
+
+    def _iter_matching(self, query: dict):
+        candidates = self._candidate_ids(query)
+        if candidates is None:
+            documents = (self._documents[i] for i in sorted(self._documents))
+        else:
+            documents = (self._documents[i] for i in candidates if i in self._documents)
+        for document in documents:
+            if match_document(document, query):
+                yield document
+
+    def find(
+        self,
+        query: Optional[dict] = None,
+        sort: Optional[List[Tuple[str, int]]] = None,
+        skip: int = 0,
+        limit: Optional[int] = None,
+    ) -> List[dict]:
+        """Return deep copies of matching documents."""
+        query = query or {}
+        results = list(self._iter_matching(query))
+        if sort:
+            for field, direction in reversed(sort):
+                results.sort(
+                    key=lambda d: (get_path(d, field) is _MISSING, get_path(d, field)),
+                    reverse=direction < 0,
+                )
+        if skip:
+            results = results[skip:]
+        if limit is not None:
+            results = results[:limit]
+        return [deep_copy_json(d) for d in results]
+
+    def find_one(self, query: Optional[dict] = None) -> Optional[dict]:
+        """Return a deep copy of the first match, or None."""
+        for document in self._iter_matching(query or {}):
+            return deep_copy_json(document)
+        return None
+
+    def count(self, query: Optional[dict] = None) -> int:
+        """Number of matching documents."""
+        return sum(1 for _ in self._iter_matching(query or {}))
+
+    def distinct(self, field: str, query: Optional[dict] = None) -> List:
+        """Distinct values of ``field`` over matches, in first-seen order."""
+        seen = []
+        for document in self._iter_matching(query or {}):
+            value = get_path(document, field)
+            if value is _MISSING:
+                continue
+            if value not in seen:
+                seen.append(value)
+        return deep_copy_json(seen)
+
+
+class DocumentStore:
+    """A named set of collections — the reproduction's "MongoDB"."""
+
+    def __init__(self):
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create a collection."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection and its documents."""
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> List[str]:
+        """Sorted names of existing collections."""
+        return sorted(self._collections)
+
+    # -- persistence --------------------------------------------------------
+
+    def dump(self) -> dict:
+        """A JSON-compatible snapshot of every collection.
+
+        Index definitions travel with the data so :meth:`load` restores an
+        equivalent store — the durability a real MongoDB gives the core
+        server across restarts.
+        """
+        snapshot: Dict[str, dict] = {}
+        for name, collection in self._collections.items():
+            snapshot[name] = {
+                "documents": collection.find(),
+                "indexes": [
+                    {"field": index.field, "unique": index.unique}
+                    for index in collection._indexes.values()
+                ],
+            }
+        return deep_copy_json(snapshot)
+
+    @classmethod
+    def load(cls, snapshot: dict) -> "DocumentStore":
+        """Rebuild a store from a :meth:`dump` snapshot."""
+        store = cls()
+        for name, payload in snapshot.items():
+            collection = store.collection(name)
+            max_numeric_id = 0
+            for document in payload.get("documents", []):
+                collection.insert_one(document)
+                if isinstance(document.get("_id"), int):
+                    max_numeric_id = max(max_numeric_id, document["_id"])
+            collection._id_counter = itertools.count(max_numeric_id + 1)
+            for index in payload.get("indexes", []):
+                collection.create_index(index["field"], unique=index["unique"])
+        return store
+
+    def save_file(self, path) -> None:
+        """Persist the snapshot as a JSON file."""
+        from pathlib import Path
+
+        from repro.util.jsonutil import dumps_pretty
+
+        Path(path).write_text(dumps_pretty(self.dump()) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load_file(cls, path) -> "DocumentStore":
+        """Restore a store from a JSON snapshot file."""
+        from repro.util.jsonutil import load_file
+
+        return cls.load(load_file(path))

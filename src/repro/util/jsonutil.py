@@ -1,0 +1,52 @@
+"""JSON helpers for test-parameter documents and stored records.
+
+The paper stores test parameters and responses as JSON (Table I); these
+helpers centralize canonical encoding (sorted keys, stable separators) so the
+document store, the file store and the parameter schema all round-trip
+byte-identically — which the integration tests rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ValidationError
+
+
+def dumps_canonical(value: Any) -> str:
+    """Serialize to canonical JSON: sorted keys, compact separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def dumps_pretty(value: Any) -> str:
+    """Serialize to human-readable JSON (2-space indent, sorted keys)."""
+    return json.dumps(value, sort_keys=True, indent=2)
+
+
+def loads(text: str) -> Any:
+    """Parse JSON, wrapping syntax errors in :class:`ValidationError`."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid JSON: {exc}") from exc
+
+
+def load_file(path) -> Any:
+    """Read and parse a JSON file."""
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def dump_file(path, value: Any) -> None:
+    """Write a value to a JSON file (pretty form, trailing newline)."""
+    Path(path).write_text(dumps_pretty(value) + "\n", encoding="utf-8")
+
+
+def deep_copy_json(value: Any) -> Any:
+    """Deep-copy a JSON-compatible value via encode/decode.
+
+    Used by the document store so callers can never mutate stored documents
+    through aliased references.
+    """
+    return json.loads(json.dumps(value))

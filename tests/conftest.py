@@ -1,0 +1,91 @@
+"""Shared fixtures for the Kaleidoscope reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd.demographics import Demographics
+from repro.crowd.workers import (
+    FIGURE_EIGHT_TRUSTWORTHY_MIX,
+    WorkerProfile,
+    WorkerType,
+    generate_population,
+)
+from repro.html.parser import parse_html
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_page():
+    """A small but structurally realistic page."""
+    return parse_html(
+        """<!DOCTYPE html>
+<html>
+<head>
+  <title>Fixture page</title>
+  <style>p { font-size: 14px; } #nav a { color: blue; }</style>
+</head>
+<body>
+  <div id="nav"><a href="/home">Home</a><a href="/about">About</a></div>
+  <div id="main">
+    <h1>Heading</h1>
+    <p class="intro">First paragraph of introduction text for the fixture.</p>
+    <p>Second paragraph with more words to give the layout some height.</p>
+    <img src="pic.png" width="120" height="80" alt="a picture">
+  </div>
+  <div id="footer"><p>Footer text</p></div>
+</body>
+</html>"""
+    )
+
+
+def make_worker(
+    worker_type: str = WorkerType.TRUSTWORTHY,
+    worker_id: str = "w-test",
+    judgment_sigma: float = 0.15,
+    attention: float = 0.95,
+    position_bias: float = 0.0,
+    same_bias: float = 0.05,
+    speed_factor: float = 1.0,
+) -> WorkerProfile:
+    """Hand-built worker with controllable parameters."""
+    return WorkerProfile(
+        worker_id=worker_id,
+        worker_type=worker_type,
+        demographics=Demographics("female", "25-34", "US", 4),
+        judgment_sigma=judgment_sigma,
+        attention=attention,
+        position_bias=position_bias,
+        same_bias=same_bias,
+        speed_factor=speed_factor,
+    )
+
+
+@pytest.fixture
+def trustworthy_worker():
+    return make_worker()
+
+
+@pytest.fixture
+def spammer_worker():
+    return make_worker(
+        worker_type=WorkerType.SPAMMER,
+        worker_id="w-spam",
+        judgment_sigma=2.5,
+        attention=0.1,
+        position_bias=-0.4,
+        same_bias=0.2,
+        speed_factor=0.3,
+    )
+
+
+@pytest.fixture
+def crowd_population(rng):
+    """A 60-worker trustworthy-channel population."""
+    return generate_population(60, FIGURE_EIGHT_TRUSTWORTHY_MIX, rng=rng)

@@ -1,0 +1,141 @@
+"""Tests for the statistical tests (cross-checked against scipy)."""
+
+import pytest
+import scipy.stats
+
+from repro.abtest.stats import (
+    binomial_test_p,
+    chi_square_2x2,
+    proportion_confidence_interval,
+    required_sample_size_two_proportion,
+    two_proportion_z,
+)
+from repro.errors import ValidationError
+
+
+class TestTwoProportionZ:
+    def test_paper_kaleidoscope_p_value(self):
+        """46 vs 14 of 100: the paper's 6.8e-8 (one-sided, unpooled)."""
+        result = two_proportion_z(46, 100, 14, 100, pooled=False, two_sided=False)
+        assert result.p_value == pytest.approx(6.8e-8, rel=0.05)
+
+    def test_paper_ab_p_value(self):
+        """6/49 vs 3/51: the paper's 0.133 (VWO one-sided, pooled)."""
+        result = two_proportion_z(6, 49, 3, 51, pooled=True, two_sided=False)
+        assert result.p_value == pytest.approx(0.133, abs=0.005)
+
+    def test_equal_proportions_p_one(self):
+        result = two_proportion_z(10, 100, 10, 100)
+        assert result.z == 0.0
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_two_sided_doubles_one_sided(self):
+        one = two_proportion_z(30, 100, 20, 100, two_sided=False)
+        two = two_proportion_z(30, 100, 20, 100, two_sided=True)
+        assert two.p_value == pytest.approx(2 * one.p_value)
+
+    def test_against_scipy_normal(self):
+        result = two_proportion_z(40, 90, 25, 110, pooled=False)
+        expected = 2 * scipy.stats.norm.sf(abs(result.z))
+        assert result.p_value == pytest.approx(expected)
+
+    def test_zero_variance_infinite_z(self):
+        result = two_proportion_z(5, 5, 0, 5, pooled=False)
+        assert result.p_value == pytest.approx(0.0)
+
+    def test_significance_flags(self):
+        strong = two_proportion_z(46, 100, 14, 100, pooled=False, two_sided=False)
+        weak = two_proportion_z(6, 49, 3, 51, pooled=True, two_sided=False)
+        assert strong.significant_99
+        assert not weak.significant_95
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            two_proportion_z(-1, 10, 0, 10)
+        with pytest.raises(ValidationError):
+            two_proportion_z(11, 10, 0, 10)
+        with pytest.raises(ValidationError):
+            two_proportion_z(0, 0, 0, 10)
+
+
+class TestBinomialTest:
+    def test_matches_scipy_two_sided(self):
+        ours = binomial_test_p(46, 60, 0.5, two_sided=True)
+        theirs = scipy.stats.binomtest(46, 60, 0.5).pvalue
+        assert ours == pytest.approx(theirs, rel=1e-6)
+
+    def test_matches_scipy_one_sided(self):
+        ours = binomial_test_p(46, 60, 0.5, two_sided=False)
+        theirs = scipy.stats.binomtest(46, 60, 0.5, alternative="greater").pvalue
+        assert ours == pytest.approx(theirs, rel=1e-6)
+
+    def test_uniform_null(self):
+        assert binomial_test_p(5, 10, 0.5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            binomial_test_p(11, 10)
+        with pytest.raises(ValidationError):
+            binomial_test_p(5, 10, p=1.0)
+
+
+class TestChiSquare:
+    def test_matches_scipy(self):
+        ours = chi_square_2x2(20, 30, 35, 15)
+        chi2, p, _, _ = scipy.stats.chi2_contingency(
+            [[20, 30], [35, 15]], correction=False
+        )
+        assert ours == pytest.approx(p, rel=1e-6)
+
+    def test_degenerate_margin(self):
+        assert chi_square_2x2(0, 0, 5, 5) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_2x2(-1, 1, 1, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_2x2(0, 0, 0, 0)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = proportion_confidence_interval(30, 100)
+        assert low < 0.30 < high
+
+    def test_matches_scipy_wilson(self):
+        low, high = proportion_confidence_interval(30, 100, 0.95)
+        import numpy as np
+
+        result = scipy.stats.binomtest(30, 100).proportion_ci(0.95, method="wilson")
+        assert low == pytest.approx(result.low, abs=1e-6)
+        assert high == pytest.approx(result.high, abs=1e-6)
+
+    def test_extreme_counts_clamped(self):
+        low, high = proportion_confidence_interval(0, 10)
+        assert low == 0.0
+        low, high = proportion_confidence_interval(10, 10)
+        assert high == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            proportion_confidence_interval(1, 0)
+
+
+class TestPowerAnalysis:
+    def test_paper_ab_test_underpowered(self):
+        """Detecting 6% vs 12% at 80% power needs far more than 50/arm."""
+        needed = required_sample_size_two_proportion(0.06, 0.12)
+        assert needed > 300
+
+    def test_bigger_effect_needs_fewer(self):
+        small = required_sample_size_two_proportion(0.10, 0.12)
+        large = required_sample_size_two_proportion(0.10, 0.40)
+        assert large < small / 10
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            required_sample_size_two_proportion(0.5, 0.5)
+        with pytest.raises(ValidationError):
+            required_sample_size_two_proportion(0.0, 0.5)

@@ -1,0 +1,82 @@
+"""Tests for the Eyeorg-style video baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.eyeorg import EyeorgStudy, VideoStimulus
+from repro.crowd.judgment import ThurstoneChoiceModel
+from repro.crowd.workers import FIGURE_EIGHT_TRUSTWORTHY_MIX, generate_population
+from repro.errors import ValidationError
+
+from tests.conftest import make_worker
+
+
+class TestVideoStimulus:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            VideoStimulus("v", duration_ms=0)
+        with pytest.raises(ValidationError):
+            VideoStimulus("v", main_reveal_ms=-1)
+
+
+class TestStyleJudgment:
+    def test_huge_gap_still_detected(self, rng):
+        study = EyeorgStudy()
+        worker = make_worker(judgment_sigma=0.1)
+        better = VideoStimulus("b", style_utility=5.0)
+        worse = VideoStimulus("w", style_utility=0.0)
+        answers = [study.judge_style(better, worse, worker, rng=rng) for _ in range(50)]
+        assert answers.count("left") > 45
+
+    def test_subtle_gap_degrades_vs_kaleidoscope(self):
+        """The headline claim: side-by-side interactive viewing beats video
+        for fine style differences."""
+        population = generate_population(
+            150, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=5
+        )
+        gap = 0.13  # the 12pt-vs-14pt regime
+        study = EyeorgStudy()
+        video_accuracy = study.style_accuracy(gap, population, seed=1)
+
+        choice = ThurstoneChoiceModel()
+        rng = np.random.default_rng(1)
+        correct = decided = 0
+        for worker in population:
+            for _ in range(3):
+                answer = choice.choose(gap, 0.0, worker, rng=rng, side_by_side=True)
+                if answer == "same":
+                    continue
+                decided += 1
+                correct += answer == "left"
+        kaleidoscope_accuracy = correct / decided
+        assert kaleidoscope_accuracy > video_accuracy + 0.08
+
+    def test_spammers_still_random(self, rng, spammer_worker):
+        study = EyeorgStudy()
+        better = VideoStimulus("b", style_utility=5.0)
+        worse = VideoStimulus("w", style_utility=0.0)
+        answers = [
+            study.judge_style(better, worse, spammer_worker, rng=rng)
+            for _ in range(200)
+        ]
+        assert answers.count("right") > 20
+
+
+class TestPageloadJudgment:
+    def test_video_good_at_load_comparisons(self):
+        """Eyeorg's home turf: clear load differences survive the medium."""
+        population = generate_population(120, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=6)
+        study = EyeorgStudy()
+        accuracy = study.pageload_accuracy(1500, 5000, population, seed=2)
+        assert accuracy > 0.85
+
+    def test_sequential_penalty_hurts_close_calls(self):
+        population = generate_population(120, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=7)
+        study = EyeorgStudy()
+        close = study.pageload_accuracy(2800, 3200, population, seed=3)
+        clear = study.pageload_accuracy(1000, 5000, population, seed=3)
+        assert close < clear
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValidationError):
+            EyeorgStudy().pageload_accuracy(5000, 1500, [], seed=0)

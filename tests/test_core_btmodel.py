@@ -1,0 +1,148 @@
+"""Tests for Bradley-Terry model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.core.btmodel import (
+    BradleyTerryFit,
+    PairwiseCounts,
+    counts_from_results,
+    fit_bradley_terry,
+    fit_from_results,
+)
+from repro.core.extension import Answer, ParticipantResult
+from repro.crowd.behavior import BehaviorTrace
+from repro.errors import ValidationError
+
+TRACE = BehaviorTrace(0.5, 0, 2)
+
+
+def result_with(worker_id, triples):
+    answers = [
+        Answer(f"p{i}", "q1", answer, left, right, False, TRACE)
+        for i, (left, right, answer) in enumerate(triples)
+    ]
+    return ParticipantResult("t", worker_id, {}, answers)
+
+
+class TestPairwiseCounts:
+    def test_wins_accumulate(self):
+        counts = PairwiseCounts(["a", "b"])
+        counts.add_win("a", "b")
+        counts.add_win("a", "b")
+        counts.add_win("b", "a")
+        assert counts.wins_of("a") == 2
+        assert counts.wins_of("b") == 1
+        assert counts.matchups("a", "b") == 3
+
+    def test_tie_splits(self):
+        counts = PairwiseCounts(["a", "b"])
+        counts.add_tie("a", "b")
+        assert counts.wins_of("a") == 0.5
+        assert counts.wins_of("b") == 0.5
+
+    def test_unknown_version_rejected(self):
+        counts = PairwiseCounts(["a", "b"])
+        with pytest.raises(ValidationError):
+            counts.add_win("a", "z")
+
+    def test_from_results(self):
+        results = [
+            result_with("w1", [("a", "b", "left"), ("b", "c", "same")]),
+            result_with("w2", [("a", "b", "right")]),
+        ]
+        counts = counts_from_results(results, "q1", ["a", "b", "c"])
+        assert counts.wins_of("a") == 1
+        assert counts.wins_of("b") == 1.5
+        assert counts.wins_of("c") == 0.5
+
+    def test_unknown_versions_in_answers_skipped(self):
+        results = [result_with("w1", [("a", "__contrast__", "left")])]
+        counts = counts_from_results(results, "q1", ["a", "b"])
+        assert counts.total_comparisons() == 0
+
+
+class TestFitting:
+    def test_dominant_version_scores_highest(self):
+        counts = PairwiseCounts(["a", "b", "c"])
+        for _ in range(20):
+            counts.add_win("a", "b")
+            counts.add_win("a", "c")
+            counts.add_win("b", "c")
+        fit = fit_bradley_terry(counts)
+        assert fit.ranking() == ["a", "b", "c"]
+        assert fit.converged
+
+    def test_scores_normalized(self):
+        counts = PairwiseCounts(["a", "b"])
+        counts.add_win("a", "b", 3)
+        counts.add_win("b", "a", 1)
+        fit = fit_bradley_terry(counts)
+        assert sum(fit.scores.values()) == pytest.approx(1.0)
+
+    def test_abilities_mean_centred(self):
+        counts = PairwiseCounts(["a", "b", "c"])
+        counts.add_win("a", "b", 5)
+        counts.add_win("b", "c", 5)
+        counts.add_win("a", "c", 5)
+        counts.add_win("c", "a", 1)
+        fit = fit_bradley_terry(counts)
+        assert sum(fit.abilities.values()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_win_probability_matches_observed_ratio(self):
+        counts = PairwiseCounts(["a", "b"])
+        counts.add_win("a", "b", 30)
+        counts.add_win("b", "a", 10)
+        fit = fit_bradley_terry(counts, regularization=0.0)
+        assert fit.win_probability("a", "b") == pytest.approx(0.75, abs=0.02)
+
+    def test_total_shutout_finite_with_regularization(self):
+        counts = PairwiseCounts(["a", "b"])
+        counts.add_win("a", "b", 10)
+        fit = fit_bradley_terry(counts)
+        assert 0 < fit.scores["b"] < fit.scores["a"]
+
+    def test_symmetric_data_gives_equal_scores(self):
+        counts = PairwiseCounts(["a", "b", "c"])
+        for x, y in (("a", "b"), ("b", "a"), ("b", "c"), ("c", "b"), ("a", "c"), ("c", "a")):
+            counts.add_win(x, y, 5)
+        fit = fit_bradley_terry(counts)
+        values = list(fit.scores.values())
+        assert max(values) - min(values) < 1e-6
+
+    def test_needs_two_versions(self):
+        with pytest.raises(ValidationError):
+            fit_bradley_terry(PairwiseCounts(["only"]))
+
+    def test_needs_comparisons(self):
+        with pytest.raises(ValidationError):
+            fit_bradley_terry(PairwiseCounts(["a", "b"]))
+
+
+class TestRecoveryOfLatentUtilities:
+    def test_recovers_thurstone_ordering_from_noisy_crowd(self):
+        """BT fitted on simulated crowd answers recovers the true order."""
+        from repro.crowd.judgment import FontReadabilityModel, ThurstoneChoiceModel
+        from repro.crowd.workers import FIGURE_EIGHT_TRUSTWORTHY_MIX, generate_population
+        from repro.core.scheduling import all_pairs
+
+        rng = np.random.default_rng(8)
+        model = FontReadabilityModel()
+        choice = ThurstoneChoiceModel()
+        sizes = {"v10": 10, "v12": 12, "v14": 14, "v18": 18, "v22": 22}
+        versions = list(sizes)
+        population = generate_population(80, FIGURE_EIGHT_TRUSTWORTHY_MIX, rng=rng)
+        results = []
+        for worker in population:
+            triples = []
+            for left, right in all_pairs(versions):
+                answer = choice.choose(
+                    model.utility(sizes[left]), model.utility(sizes[right]), worker, rng=rng
+                )
+                triples.append((left, right, answer))
+            results.append(result_with(worker.worker_id, triples))
+        fit = fit_from_results(results, "q1", versions)
+        truth = sorted(versions, key=lambda v: -model.utility(sizes[v]))
+        assert fit.ranking() == truth
+        # Ability gaps should be monotone with utility gaps.
+        assert fit.abilities["v12"] > fit.abilities["v18"] > fit.abilities["v22"]

@@ -1,0 +1,172 @@
+"""Tests for the browser-extension participant flow."""
+
+import pytest
+
+from repro.core.extension import (
+    Answer,
+    BrowserExtension,
+    ParticipantResult,
+    make_uplt_judge,
+    make_utility_judge,
+)
+from repro.core.integrated import (
+    CONTROL_CONTRAST,
+    CONTROL_IDENTICAL,
+    IntegratedWebpage,
+)
+from repro.core.parameters import Question
+from repro.crowd.behavior import BehaviorTrace
+from repro.crowd.judgment import ThurstoneChoiceModel, UPLTPerceptionModel
+from repro.errors import ExtensionError
+
+from tests.conftest import make_worker
+
+QUESTIONS = [Question("q1", "Which is better?"), Question("q2", "Which is faster?")]
+
+
+def make_pages():
+    return [
+        IntegratedWebpage("p0", "t", "a", "b", "t/integrated/p0.html"),
+        IntegratedWebpage(
+            "ctrl", "t", "a", "a", "t/integrated/ctrl.html", CONTROL_IDENTICAL, "same"
+        ),
+    ]
+
+
+def always_left(worker, question, left, right, rng):
+    return "left"
+
+
+class TestFlow:
+    def test_answers_every_question_on_every_page(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        assert len(result.answers) == 4  # 2 pages x 2 questions
+        assert result.worker_id == "w-test"
+        assert result.test_id == "t"
+
+    def test_demographics_attached(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        assert result.demographics["country"] == "US"
+
+    def test_one_trace_per_page_shared_across_questions(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        page_answers = [a for a in result.answers if a.integrated_id == "p0"]
+        assert page_answers[0].behavior == page_answers[1].behavior
+
+    def test_total_minutes_accumulates(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        assert result.total_minutes > 0
+
+    def test_no_questions_rejected(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        with pytest.raises(ExtensionError):
+            extension.run_test("t", [], make_pages())
+
+    def test_no_pages_rejected(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        with pytest.raises(ExtensionError):
+            extension.run_test("t", QUESTIONS, [])
+
+    def test_invalid_judge_answer_rejected(self, rng):
+        extension = BrowserExtension(
+            make_worker(), lambda *a: "banana", rng=rng
+        )
+        with pytest.raises(ExtensionError):
+            extension.run_test("t", QUESTIONS, make_pages())
+
+
+class TestControls:
+    def test_identical_control_bypasses_judge(self, rng):
+        # Judge always says left, but an attentive worker answers Same on
+        # the identical pair because the control model takes over.
+        extension = BrowserExtension(make_worker(attention=1.0), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        control_answers = {a.answer for a in result.answers if a.is_control}
+        assert "same" in control_answers
+
+    def test_contrast_control_expected_answer(self, rng):
+        pages = [
+            IntegratedWebpage(
+                "c2", "t", "__contrast__", "a", "p", CONTROL_CONTRAST, "right"
+            )
+        ]
+        extension = BrowserExtension(make_worker(attention=1.0), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS[:1], pages)
+        assert result.answers[0].answer == "right"
+
+
+class TestDownload:
+    def test_download_called_per_page(self, rng):
+        fetched = []
+
+        def download(path):
+            fetched.append(path)
+            return "<html></html>"
+
+        extension = BrowserExtension(make_worker(), always_left, rng=rng, download=download)
+        extension.run_test("t", QUESTIONS, make_pages())
+        assert fetched == ["t/integrated/p0.html", "t/integrated/ctrl.html"]
+
+    def test_failed_download_raises(self, rng):
+        extension = BrowserExtension(
+            make_worker(), always_left, rng=rng, download=lambda p: ""
+        )
+        with pytest.raises(ExtensionError):
+            extension.run_test("t", QUESTIONS, make_pages())
+
+
+class TestRoundTrip:
+    def test_participant_result_round_trip(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        restored = ParticipantResult.from_dict(result.as_dict())
+        assert restored.worker_id == result.worker_id
+        assert len(restored.answers) == len(result.answers)
+        assert restored.answers[0] == result.answers[0]
+
+    def test_answers_for_question_filters_controls(self, rng):
+        extension = BrowserExtension(make_worker(), always_left, rng=rng)
+        result = extension.run_test("t", QUESTIONS, make_pages())
+        without = result.answers_for("q1")
+        with_controls = result.answers_for("q1", include_controls=True)
+        assert len(without) == 1
+        assert len(with_controls) == 2
+
+
+class TestJudgeFactories:
+    def test_utility_judge(self, rng):
+        judge = make_utility_judge(
+            {"a": 1.0, "b": 0.0}, ThurstoneChoiceModel()
+        )
+        worker = make_worker(judgment_sigma=0.0)
+        assert judge(worker, QUESTIONS[0], "a", "b", rng) == "left"
+        assert judge(worker, QUESTIONS[0], "b", "a", rng) == "right"
+
+    def test_uplt_judge(self, rng):
+        judge = make_uplt_judge(
+            {
+                "fast": {"main": 100, "auxiliary": 100},
+                "slow": {"main": 9000, "auxiliary": 9000},
+            },
+            UPLTPerceptionModel(perception_noise_ms=1.0),
+        )
+        worker = make_worker(attention=1.0)
+        assert judge(worker, QUESTIONS[0], "fast", "slow", rng) == "left"
+
+
+class TestAnswerRecord:
+    def test_round_trip(self):
+        answer = Answer(
+            integrated_id="i",
+            question_id="q",
+            answer="same",
+            left_version="a",
+            right_version="b",
+            is_control=False,
+            behavior=BehaviorTrace(0.5, 1, 3),
+        )
+        assert Answer.from_dict(answer.as_dict()) == answer

@@ -1,0 +1,112 @@
+"""Tests for the injected page-load replay script generator."""
+
+import pytest
+
+from repro.core.loadscript import (
+    SCRIPT_MARKER_ATTR,
+    extract_schedule,
+    generate_load_script,
+    inject_load_script,
+)
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.render.replay import SelectorSchedule, UniformRandomSchedule
+
+
+class TestGeneration:
+    def test_uniform_schedule_embedded(self):
+        script = generate_load_script(UniformRandomSchedule(2000))
+        assert '"duration_ms": 2000' in script
+        assert "hideAll" in script
+        assert "setTimeout" in script
+
+    def test_selector_schedule_embedded(self):
+        script = generate_load_script(
+            SelectorSchedule.from_pairs([("#main", 1000)], default_ms=500)
+        )
+        assert '"#main": 1000' in script
+        assert '"default_ms": 500' in script
+
+    def test_script_is_iife(self):
+        script = generate_load_script(UniformRandomSchedule(0))
+        assert script.startswith("(function () {")
+        assert script.rstrip().endswith("})();")
+
+
+class TestInjection:
+    def test_script_lands_in_head(self):
+        document = parse_html("<p>x</p>")
+        inject_load_script(document, UniformRandomSchedule(2000))
+        scripts = document.head.get_elements_by_tag("script")
+        assert len(scripts) == 1
+        assert scripts[0].get(SCRIPT_MARKER_ATTR) == "1"
+
+    def test_reinjection_replaces(self):
+        document = parse_html("<p>x</p>")
+        inject_load_script(document, UniformRandomSchedule(1000))
+        inject_load_script(document, UniformRandomSchedule(9000))
+        scripts = [
+            s
+            for s in document.root.get_elements_by_tag("script")
+            if s.get(SCRIPT_MARKER_ATTR)
+        ]
+        assert len(scripts) == 1
+        assert extract_schedule(document).duration_ms == 9000
+
+    def test_survives_serialization(self):
+        document = parse_html("<p>x</p>")
+        inject_load_script(
+            document, SelectorSchedule.from_pairs([("#main", 1500)], default_ms=0)
+        )
+        reparsed = parse_html(serialize(document))
+        schedule = extract_schedule(reparsed)
+        assert isinstance(schedule, SelectorSchedule)
+        assert schedule.entries == (("#main", 1500.0),)
+
+    def test_other_scripts_untouched(self):
+        document = parse_html("<head><script>var mine;</script></head><p>x</p>")
+        inject_load_script(document, UniformRandomSchedule(100))
+        scripts = document.root.get_elements_by_tag("script")
+        assert len(scripts) == 2
+
+
+class TestExtraction:
+    def test_absent_returns_none(self):
+        assert extract_schedule(parse_html("<p>x</p>")) is None
+
+    def test_round_trip_uniform(self):
+        document = parse_html("<p>x</p>")
+        inject_load_script(document, UniformRandomSchedule(2500))
+        schedule = extract_schedule(document)
+        assert isinstance(schedule, UniformRandomSchedule)
+        assert schedule.duration_ms == 2500
+
+    def test_round_trip_selector_with_default(self):
+        document = parse_html("<p>x</p>")
+        original = SelectorSchedule.from_pairs(
+            [("#navbar", 2000), ("#mw-content-text", 4000)], default_ms=2000
+        )
+        inject_load_script(document, original)
+        schedule = extract_schedule(document)
+        assert schedule.entries == original.entries
+        assert schedule.default_ms == original.default_ms
+
+
+class TestSemanticAgreement:
+    """The generated JS and the Python replay must encode the same plan."""
+
+    def test_selector_times_match_python_semantics(self):
+        from repro.render.replay import compute_reveal_times
+
+        document = parse_html(
+            '<div id="navbar"><a href="/x">L</a></div>'
+            '<div id="main"><p>body text</p></div>'
+        )
+        schedule = SelectorSchedule.from_pairs(
+            [("#navbar", 2000), ("#main", 4000)], default_ms=1000
+        )
+        inject_load_script(document, schedule)
+        recovered = extract_schedule(document)
+        original_times = compute_reveal_times(document, schedule)
+        recovered_times = compute_reveal_times(document, recovered)
+        assert original_times == recovered_times

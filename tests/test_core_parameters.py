@@ -1,0 +1,147 @@
+"""Tests for the Table-I test-parameter schema."""
+
+import pytest
+
+from repro.core.parameters import Question, TestParameters, WebpageSpec
+from repro.errors import ValidationError
+from repro.render.replay import SelectorSchedule, UniformRandomSchedule
+
+
+def make_params(**overrides):
+    defaults = dict(
+        test_id="t-1",
+        test_description="a test",
+        participant_num=100,
+        question=[Question("q1", "Which is better?")],
+        webpages=[
+            WebpageSpec(web_path="a", web_page_load=3000),
+            WebpageSpec(web_path="b", web_page_load=3000),
+        ],
+    )
+    defaults.update(overrides)
+    return TestParameters(**defaults)
+
+
+class TestWebpageSpec:
+    def test_scalar_load_decodes_to_uniform(self):
+        spec = WebpageSpec(web_path="a", web_page_load=2000)
+        schedule = spec.schedule()
+        assert isinstance(schedule, UniformRandomSchedule)
+        assert schedule.duration_ms == 2000
+
+    def test_array_load_decodes_to_selector_schedule(self):
+        spec = WebpageSpec(
+            web_path="a", web_page_load=[{"#main": 1000}, {"#content p": 1500}]
+        )
+        schedule = spec.schedule()
+        assert isinstance(schedule, SelectorSchedule)
+        assert schedule.entries == (("#main", 1000.0), ("#content p", 1500.0))
+
+    def test_defaults(self):
+        spec = WebpageSpec(web_path="a", web_page_load=0)
+        assert spec.web_main_file == "index.html"
+        assert spec.web_description == ""
+
+    def test_from_dict_validates_load(self):
+        with pytest.raises(Exception):
+            WebpageSpec.from_dict({"web_path": "a", "web_page_load": "soon"})
+
+    def test_from_dict_requires_keys(self):
+        with pytest.raises(ValidationError):
+            WebpageSpec.from_dict({"web_path": "a"})
+
+
+class TestTestParameters:
+    def test_webpage_num_derived(self):
+        assert make_params().webpage_num == 2
+
+    def test_pair_count_formula(self):
+        params = make_params(
+            webpages=[WebpageSpec(web_path=f"v{i}", web_page_load=0) for i in range(5)]
+        )
+        assert params.pair_count == 10  # C(5,2)
+
+    def test_empty_test_id_rejected(self):
+        with pytest.raises(ValidationError):
+            make_params(test_id="")
+
+    def test_nonpositive_participants_rejected(self):
+        with pytest.raises(ValidationError):
+            make_params(participant_num=0)
+
+    def test_needs_two_webpages(self):
+        with pytest.raises(ValidationError):
+            make_params(webpages=[WebpageSpec(web_path="a", web_page_load=0)])
+
+    def test_duplicate_paths_rejected(self):
+        with pytest.raises(ValidationError):
+            make_params(
+                webpages=[
+                    WebpageSpec(web_path="a", web_page_load=0),
+                    WebpageSpec(web_path="a", web_page_load=0),
+                ]
+            )
+
+    def test_duplicate_question_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            make_params(question=[Question("q1", "x"), Question("q1", "y")])
+
+    def test_needs_a_question(self):
+        with pytest.raises(ValidationError):
+            make_params(question=[])
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        params = make_params()
+        restored = TestParameters.from_json(params.to_json())
+        assert restored == params
+
+    def test_canonical_form_stable(self):
+        params = make_params()
+        assert params.to_json(pretty=False) == params.to_json(pretty=False)
+
+    def test_table_one_keys_present(self):
+        payload = make_params().as_dict()
+        assert set(payload) == {
+            "test_id",
+            "webpage_num",
+            "test_description",
+            "participant_num",
+            "question",
+            "webpages",
+        }
+        assert set(payload["webpages"][0]) == {
+            "web_path",
+            "web_page_load",
+            "web_main_file",
+            "web_description",
+        }
+
+    def test_declared_webpage_num_checked(self):
+        payload = make_params().as_dict()
+        payload["webpage_num"] = 7
+        with pytest.raises(ValidationError):
+            TestParameters.from_dict(payload)
+
+    def test_selector_schedule_round_trips(self):
+        params = make_params(
+            webpages=[
+                WebpageSpec(web_path="a", web_page_load=[{"#m": 1000}]),
+                WebpageSpec(web_path="b", web_page_load=2000),
+            ]
+        )
+        restored = TestParameters.from_json(params.to_json())
+        assert restored.webpages[0].web_page_load == [{"#m": 1000}]
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValidationError):
+            TestParameters.from_json("{")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            TestParameters.from_dict([1, 2])
+
+    def test_question_round_trip(self):
+        question = Question("q9", "Which version of the button is more visible?")
+        assert Question.from_dict(question.as_dict()) == question

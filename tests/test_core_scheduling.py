@@ -1,0 +1,154 @@
+"""Tests for comparison scheduling (full pairs + sorting-based reduction)."""
+
+import itertools
+
+import pytest
+
+from repro.core.scheduling import (
+    BubbleSortScheduler,
+    FullPairScheduler,
+    InsertionSortScheduler,
+    MergeSortScheduler,
+    all_pairs,
+    drive_scheduler,
+)
+from repro.errors import ValidationError
+
+VERSIONS = ["v10", "v12", "v14", "v18", "v22"]
+# Ground-truth quality order, best first.
+TRUE_ORDER = ["v12", "v14", "v10", "v18", "v22"]
+RANK = {v: i for i, v in enumerate(TRUE_ORDER)}
+
+
+def perfect_comparator(left, right):
+    return "left" if RANK[left] < RANK[right] else "right"
+
+
+ALL_SCHEDULERS = [
+    FullPairScheduler,
+    BubbleSortScheduler,
+    InsertionSortScheduler,
+    MergeSortScheduler,
+]
+
+
+class TestAllPairs:
+    def test_count(self):
+        assert len(all_pairs(VERSIONS)) == 10
+
+    def test_each_pair_once(self):
+        pairs = all_pairs(VERSIONS)
+        assert len({frozenset(p) for p in pairs}) == 10
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            all_pairs(["a", "a"])
+
+
+class TestSchedulerProtocol:
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_recovers_true_ranking_with_perfect_comparator(self, scheduler_class):
+        scheduler = scheduler_class(VERSIONS)
+        ranking = drive_scheduler(scheduler, perfect_comparator)
+        assert ranking == TRUE_ORDER
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    @pytest.mark.parametrize("permutation", list(itertools.permutations("abc")))
+    def test_all_input_orders_sort_correctly(self, scheduler_class, permutation):
+        order = {"a": 0, "b": 1, "c": 2}
+        scheduler = scheduler_class(list(permutation))
+        ranking = drive_scheduler(
+            scheduler, lambda l, r: "left" if order[l] < order[r] else "right"
+        )
+        assert ranking == ["a", "b", "c"]
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_two_versions(self, scheduler_class):
+        scheduler = scheduler_class(["x", "y"])
+        ranking = drive_scheduler(scheduler, lambda l, r: "right")
+        assert set(ranking) == {"x", "y"}
+        assert scheduler.comparisons_used >= 1
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_report_without_pair_rejected(self, scheduler_class):
+        scheduler = scheduler_class(VERSIONS)
+        with pytest.raises(ValidationError):
+            scheduler.report("left")
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_double_next_rejected(self, scheduler_class):
+        scheduler = scheduler_class(VERSIONS)
+        scheduler.next_pair()
+        with pytest.raises(ValidationError):
+            scheduler.next_pair()
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_invalid_answer_rejected(self, scheduler_class):
+        scheduler = scheduler_class(VERSIONS)
+        scheduler.next_pair()
+        with pytest.raises(ValidationError):
+            scheduler.report("maybe")
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_single_version_list_rejected(self, scheduler_class):
+        with pytest.raises(ValidationError):
+            scheduler_class(["only"])
+
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_history_recorded(self, scheduler_class):
+        scheduler = scheduler_class(VERSIONS)
+        drive_scheduler(scheduler, perfect_comparator)
+        assert len(scheduler.history) == scheduler.comparisons_used
+
+
+class TestComparisonCounts:
+    def test_full_pair_count_exact(self):
+        scheduler = FullPairScheduler(VERSIONS)
+        drive_scheduler(scheduler, perfect_comparator)
+        assert scheduler.comparisons_used == 10
+
+    def test_merge_sort_fewer_than_full(self):
+        scheduler = MergeSortScheduler(VERSIONS)
+        drive_scheduler(scheduler, perfect_comparator)
+        assert scheduler.comparisons_used < 10
+
+    def test_insertion_sort_at_most_full(self):
+        scheduler = InsertionSortScheduler(VERSIONS)
+        drive_scheduler(scheduler, perfect_comparator)
+        assert scheduler.comparisons_used <= 10
+
+    def test_insertion_best_case_linear(self):
+        # Already sorted input, candidate always loses to the last element.
+        scheduler = InsertionSortScheduler(["a", "b", "c", "d", "e"])
+        ranking = drive_scheduler(
+            scheduler, lambda l, r: "left"
+        )  # left (sorted prefix) always wins
+        assert ranking == ["a", "b", "c", "d", "e"]
+        assert scheduler.comparisons_used == 4
+
+
+class TestSameAnswers:
+    @pytest.mark.parametrize("scheduler_class", ALL_SCHEDULERS)
+    def test_all_same_terminates(self, scheduler_class):
+        scheduler = scheduler_class(VERSIONS)
+        ranking = drive_scheduler(scheduler, lambda l, r: "same")
+        assert sorted(ranking) == sorted(VERSIONS)
+
+    def test_full_pairs_same_preserves_input_order(self):
+        scheduler = FullPairScheduler(VERSIONS)
+        ranking = drive_scheduler(scheduler, lambda l, r: "same")
+        assert ranking == VERSIONS
+
+
+class TestFullPairCopeland:
+    def test_tie_broken_by_input_order(self):
+        scheduler = FullPairScheduler(["a", "b"])
+        drive_scheduler(scheduler, lambda l, r: "same")
+        assert scheduler.ranking() == ["a", "b"]
+
+    def test_partial_ranking_mid_run(self):
+        scheduler = MergeSortScheduler(VERSIONS)
+        scheduler.next_pair()
+        scheduler.report("left")
+        partial = scheduler.ranking()
+        assert sorted(partial) == sorted(VERSIONS)  # best effort, complete set

@@ -1,0 +1,200 @@
+"""Tests for the core server's HTTP protocol."""
+
+import pytest
+
+from repro.core.aggregator import Aggregator, RESPONSES_COLLECTION
+from repro.core.extension import Answer, ParticipantResult
+from repro.core.parameters import Question, TestParameters, WebpageSpec
+from repro.core.server import CoreServer
+from repro.crowd.behavior import BehaviorTrace
+from repro.crowd.platform import CrowdPlatform
+from repro.html.parser import parse_html
+from repro.net.http import Request
+from repro.net.simnet import SimulatedNetwork
+from repro.sim.clock import SimulationEnvironment
+from repro.storage.documentstore import DocumentStore
+from repro.storage.filestore import FileStore
+
+TRACE = BehaviorTrace(0.5, 0, 2).as_dict()
+
+
+@pytest.fixture
+def stack():
+    """Prepared test + server + network."""
+    database, storage = DocumentStore(), FileStore()
+    aggregator = Aggregator(database, storage)
+    params = TestParameters(
+        test_id="srv-test",
+        test_description="server test",
+        participant_num=5,
+        question=[Question("q1", "Which?")],
+        webpages=[
+            WebpageSpec(web_path="a", web_page_load=1000),
+            WebpageSpec(web_path="b", web_page_load=1000),
+        ],
+    )
+    documents = {
+        p: parse_html(f"<html><body><p>{p}</p></body></html>") for p in ("a", "b")
+    }
+    prepared = aggregator.prepare(params, documents)
+    env = SimulationEnvironment()
+    platform = CrowdPlatform(env, seed=0)
+    server = CoreServer(database, storage, platform=platform)
+    network = SimulatedNetwork(env)
+    network.attach(server.http)
+    return server, network, prepared, database
+
+
+def upload_payload(worker_id="w1", test_id="srv-test"):
+    answers = [
+        {
+            "integrated_id": "srv-test-pair-000",
+            "question_id": "q1",
+            "answer": "left",
+            "left_version": "a",
+            "right_version": "b",
+            "is_control": False,
+            "behavior": TRACE,
+        }
+    ]
+    return {
+        "test_id": test_id,
+        "worker_id": worker_id,
+        "demographics": {"gender": "female", "age_range": "25-34", "country": "US", "tech_ability": 4},
+        "answers": answers,
+        "total_minutes": 0.5,
+        "revisits": 0,
+    }
+
+
+class TestGetTest:
+    def test_returns_test_info_with_integrated_list(self, stack):
+        server, network, prepared, _ = stack
+        response = network.get(server.url("/tests/srv-test"))
+        assert response.ok
+        payload = response.json()
+        assert payload["test_id"] == "srv-test"
+        assert len(payload["integrated"]) == len(prepared.integrated)
+        assert payload["parameters"]["participant_num"] == 5
+
+    def test_unknown_test_404(self, stack):
+        server, network, _, _ = stack
+        assert network.get(server.url("/tests/ghost")).status == 404
+
+
+class TestGetResource:
+    def test_serves_integrated_page(self, stack):
+        server, network, prepared, _ = stack
+        path = prepared.comparison_pairs()[0].storage_path
+        response = network.get(server.url(f"/resources/{path}"))
+        assert response.ok
+        assert response.content_type == "text/html"
+        assert "iframe" in response.text
+
+    def test_serves_version_file(self, stack):
+        server, network, prepared, _ = stack
+        path = prepared.webpage("a").storage_path
+        assert network.get(server.url(f"/resources/{path}")).ok
+
+    def test_missing_resource_404(self, stack):
+        server, network, _, _ = stack
+        assert network.get(server.url("/resources/none/here.html")).status == 404
+
+
+class TestPostResponse:
+    def test_stores_upload(self, stack):
+        server, network, _, database = stack
+        response = network.post_json(server.url("/responses"), upload_payload())
+        assert response.status == 201
+        assert database.collection(RESPONSES_COLLECTION).count({"test_id": "srv-test"}) == 1
+
+    def test_duplicate_submission_409(self, stack):
+        server, network, _, _ = stack
+        network.post_json(server.url("/responses"), upload_payload())
+        response = network.post_json(server.url("/responses"), upload_payload())
+        assert response.status == 409
+
+    def test_unknown_test_rejected(self, stack):
+        server, network, _, _ = stack
+        response = network.post_json(
+            server.url("/responses"), upload_payload(test_id="ghost")
+        )
+        assert response.status == 400
+
+    def test_malformed_payload_rejected(self, stack):
+        server, network, _, _ = stack
+        response = network.post_json(server.url("/responses"), {"nope": 1})
+        assert response.status == 400
+
+    def test_stored_results_reconstruct(self, stack):
+        server, network, _, _ = stack
+        network.post_json(server.url("/responses"), upload_payload())
+        results = server.stored_results("srv-test")
+        assert len(results) == 1
+        assert isinstance(results[0], ParticipantResult)
+        assert results[0].answers[0].answer == "left"
+        assert server.response_count("srv-test") == 1
+
+
+class TestGetResults:
+    def test_empty_results(self, stack):
+        server, network, _, _ = stack
+        payload = network.get(server.url("/results/srv-test")).json()
+        assert payload["participants"] == 0
+
+    def test_tallies_computed(self, stack):
+        server, network, _, _ = stack
+        for worker in ("w1", "w2", "w3"):
+            network.post_json(server.url("/responses"), upload_payload(worker_id=worker))
+        payload = network.get(server.url("/results/srv-test")).json()
+        assert payload["participants"] == 3
+        tally = next(
+            t
+            for t in payload["tallies"]
+            if (t["left_version"], t["right_version"]) == ("a", "b")
+        )
+        assert tally["left"] == 3
+        assert 0 <= tally["p_value"] <= 1
+
+    def test_unknown_test_404(self, stack):
+        server, network, _, _ = stack
+        assert network.get(server.url("/results/ghost")).status == 404
+
+
+class TestPostTask:
+    def test_posts_to_platform(self, stack):
+        server, network, _, database = stack
+        response = network.post_json(
+            server.url("/tasks"),
+            {"test_id": "srv-test", "participants_needed": 10, "reward_usd": 0.1},
+        )
+        assert response.status == 201
+        job_id = response.json()["job_id"]
+        assert server.platform.get_job(job_id).test_id == "srv-test"
+        record = database.collection("tests").find_one({"test_id": "srv-test"})
+        assert record["status"] == "posted"
+        assert record["job_id"] == job_id
+
+    def test_missing_fields_rejected(self, stack):
+        server, network, _, _ = stack
+        response = network.post_json(server.url("/tasks"), {"test_id": "srv-test"})
+        assert response.status == 400
+
+    def test_unknown_test_rejected(self, stack):
+        server, network, _, _ = stack
+        response = network.post_json(
+            server.url("/tasks"),
+            {"test_id": "ghost", "participants_needed": 1, "reward_usd": 0.1},
+        )
+        assert response.status == 400
+
+    def test_no_platform_503(self):
+        database, storage = DocumentStore(), FileStore()
+        server = CoreServer(database, storage, platform=None)
+        network = SimulatedNetwork()
+        network.attach(server.http)
+        response = network.post_json(
+            server.url("/tasks"),
+            {"test_id": "t", "participants_needed": 1, "reward_usd": 0.1},
+        )
+        assert response.status == 503

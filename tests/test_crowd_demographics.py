@@ -1,0 +1,45 @@
+"""Tests for demographic sampling."""
+
+import numpy as np
+
+from repro.crowd.demographics import (
+    AGE_RANGES,
+    COUNTRIES,
+    GENDERS,
+    Demographics,
+    sample_demographics,
+)
+
+
+class TestSampling:
+    def test_values_from_allowed_sets(self, rng):
+        for _ in range(50):
+            d = sample_demographics(rng=rng)
+            assert d.gender in GENDERS
+            assert d.age_range in AGE_RANGES
+            assert d.country in COUNTRIES
+            assert 1 <= d.tech_ability <= 5
+
+    def test_seed_reproducible(self):
+        assert sample_demographics(seed=5) == sample_demographics(seed=5)
+
+    def test_pools_differ_in_distribution(self):
+        rng = np.random.default_rng(0)
+        crowd_us = sum(
+            sample_demographics(rng=rng, pool="crowd").country == "US" for _ in range(400)
+        )
+        rng = np.random.default_rng(0)
+        inlab_us = sum(
+            sample_demographics(rng=rng, pool="inlab").country == "US" for _ in range(400)
+        )
+        assert inlab_us > crowd_us  # friends/colleagues pool is local-heavy
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        d = Demographics("female", "25-34", "US", 4)
+        assert Demographics.from_dict(d.as_dict()) == d
+
+    def test_as_dict_is_coarse(self):
+        keys = set(Demographics("male", "35-44", "IN", 2).as_dict())
+        assert keys == {"gender", "age_range", "country", "tech_ability"}

@@ -1,0 +1,55 @@
+"""Tests for the in-lab study harness."""
+
+from repro.crowd.inlab import InLabStudy, apply_walkthrough
+from repro.crowd.workers import WorkerType
+from repro.sim.clock import SimulationEnvironment
+
+from tests.conftest import make_worker
+
+
+class TestWalkthrough:
+    def test_reduces_noise_and_raises_attention(self):
+        worker = make_worker(judgment_sigma=0.2, attention=0.9, same_bias=0.2)
+        improved = apply_walkthrough(worker)
+        assert improved.judgment_sigma < worker.judgment_sigma
+        assert improved.attention >= worker.attention
+        assert improved.same_bias < worker.same_bias
+
+    def test_attention_capped_at_one(self):
+        worker = make_worker(attention=0.98)
+        assert apply_walkthrough(worker).attention == 1.0
+
+
+class TestInLabStudy:
+    def test_recruits_requested_count(self):
+        env = SimulationEnvironment()
+        study = InLabStudy(env, participants_needed=50)
+        participants = study.run(seed=1)
+        assert len(participants) == 50
+
+    def test_takes_about_a_week(self):
+        env = SimulationEnvironment()
+        study = InLabStudy(env, participants_needed=50)
+        study.run(seed=1)
+        assert 4 < study.duration_days < 11  # paper: "over one week"
+
+    def test_no_spammers(self):
+        env = SimulationEnvironment()
+        study = InLabStudy(env, participants_needed=60)
+        participants = study.run(seed=2)
+        assert all(w.worker_type != WorkerType.SPAMMER for w in participants)
+
+    def test_callback_invoked_per_participant(self):
+        env = SimulationEnvironment()
+        study = InLabStudy(env, participants_needed=5)
+        seen = []
+        study.run(seed=3, on_participant=lambda w, t: seen.append((w.worker_id, t)))
+        assert len(seen) == 5
+        times = [t for _, t in seen]
+        assert times == sorted(times)
+
+    def test_duration_zero_for_single_participant(self):
+        env = SimulationEnvironment()
+        study = InLabStudy(env, participants_needed=1)
+        study.run(seed=4)
+        assert study.duration_days == 0.0

@@ -1,0 +1,142 @@
+"""Tests for parallel multi-platform recruitment."""
+
+import pytest
+
+from repro.crowd.multiplatform import (
+    FIGURE_EIGHT_CHANNEL,
+    MTURK_CHANNEL,
+    VOLUNTEER_CHANNEL,
+    ParallelRecruiter,
+    PlatformChannel,
+    default_channel,
+    speedup_matrix,
+)
+from repro.crowd.workers import FIGURE_EIGHT_TRUSTWORTHY_MIX
+from repro.errors import PlatformError
+from repro.sim.clock import SECONDS_PER_HOUR, SimulationEnvironment
+
+
+def recruiter_for(channel_names, reward=0.10, seed=3):
+    env = SimulationEnvironment()
+    channels = [default_channel(name, reward) for name in channel_names]
+    return ParallelRecruiter(env, channels, seed=seed)
+
+
+class TestChannels:
+    def test_presets(self):
+        for name in (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL, VOLUNTEER_CHANNEL):
+            channel = default_channel(name)
+            assert channel.name == name
+
+    def test_volunteers_are_free(self):
+        assert default_channel(VOLUNTEER_CHANNEL, reward_usd=0.50).reward_usd == 0.0
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(PlatformError):
+            default_channel("clickfarm")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformChannel("x", 0, FIGURE_EIGHT_TRUSTWORTHY_MIX, 0.1)
+
+    def test_reward_elastic_rate(self):
+        channel_low = default_channel(FIGURE_EIGHT_CHANNEL, 0.05)
+        channel_high = default_channel(FIGURE_EIGHT_CHANNEL, 0.40)
+        assert channel_high.arrival_rate_per_hour(14) > channel_low.arrival_rate_per_hour(14)
+
+
+class TestParallelRecruitment:
+    def test_reaches_quota(self):
+        result = recruiter_for([FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL]).run(50)
+        assert result.total_recruited == 50
+        assert result.completion_time_s is not None
+
+    def test_two_channels_faster_than_one(self):
+        single = recruiter_for([FIGURE_EIGHT_CHANNEL]).run(80)
+        double = recruiter_for([FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL]).run(80)
+        assert double.completion_time_s < single.completion_time_s
+
+    def test_both_channels_contribute(self):
+        result = recruiter_for([FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL]).run(120)
+        counts = result.per_channel_counts()
+        assert counts.get(FIGURE_EIGHT_CHANNEL, 0) > 5
+        assert counts.get(MTURK_CHANNEL, 0) > 5
+
+    def test_arrivals_time_ordered(self):
+        result = recruiter_for([FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL]).run(40)
+        times = [a.arrival_time_s for a in result.arrivals]
+        assert times == sorted(times)
+
+    def test_worker_ids_unique(self):
+        result = recruiter_for([FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL]).run(60)
+        ids = [a.worker.worker_id for a in result.arrivals]
+        assert len(set(ids)) == 60
+
+    def test_cost_accounting(self):
+        result = recruiter_for([FIGURE_EIGHT_CHANNEL], reward=0.11).run(30)
+        assert result.total_cost_usd == pytest.approx(3.3)
+
+    def test_volunteers_do_not_add_cost(self):
+        result = recruiter_for(
+            [FIGURE_EIGHT_CHANNEL, VOLUNTEER_CHANNEL], reward=0.10, seed=9
+        ).run(100)
+        counts = result.per_channel_counts()
+        paid = counts.get(FIGURE_EIGHT_CHANNEL, 0)
+        assert result.total_cost_usd == pytest.approx(0.10 * paid)
+
+    def test_deadline_bounds_run(self):
+        env = SimulationEnvironment()
+        recruiter = ParallelRecruiter(
+            env, [default_channel(VOLUNTEER_CHANNEL)], seed=1
+        )
+        result = recruiter.run(10_000, max_duration_s=3 * SECONDS_PER_HOUR)
+        assert result.total_recruited < 10_000
+        assert result.completion_time_s is None
+
+    def test_callback_channel_attribution(self):
+        seen = []
+        recruiter = recruiter_for([FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL])
+        recruiter.run(20, on_recruit=lambda w, ch, t: seen.append(ch))
+        assert len(seen) == 20
+        assert set(seen) <= {FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL}
+
+    def test_validation(self):
+        env = SimulationEnvironment()
+        with pytest.raises(PlatformError):
+            ParallelRecruiter(env, [], seed=0)
+        with pytest.raises(PlatformError):
+            ParallelRecruiter(
+                env,
+                [default_channel(FIGURE_EIGHT_CHANNEL), default_channel(FIGURE_EIGHT_CHANNEL)],
+            )
+        with pytest.raises(PlatformError):
+            recruiter_for([FIGURE_EIGHT_CHANNEL]).run(0)
+
+
+class TestSpeedupMatrix:
+    def test_matrix_shape(self):
+        rows = speedup_matrix(
+            participants_needed=30,
+            rewards=(0.05, 0.20),
+            channel_sets=((FIGURE_EIGHT_CHANNEL,), (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL)),
+            seed=2,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row["hours"] is not None
+            assert row["hours"] > 0
+
+    def test_more_money_and_channels_is_faster(self):
+        rows = speedup_matrix(
+            participants_needed=40,
+            rewards=(0.05, 0.40),
+            channel_sets=((FIGURE_EIGHT_CHANNEL,), (FIGURE_EIGHT_CHANNEL, MTURK_CHANNEL)),
+            seed=4,
+        )
+        slowest = next(
+            r for r in rows if r["reward_usd"] == 0.05 and "+" not in r["channels"]
+        )
+        fastest = next(
+            r for r in rows if r["reward_usd"] == 0.40 and "+" in r["channels"]
+        )
+        assert fastest["hours"] < slowest["hours"]

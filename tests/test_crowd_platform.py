@@ -1,0 +1,126 @@
+"""Tests for the simulated crowdsourcing platform."""
+
+import pytest
+
+from repro.crowd.platform import BASE_ARRIVALS_PER_HOUR, CrowdPlatform
+from repro.errors import PlatformError
+from repro.sim.clock import SECONDS_PER_HOUR, SimulationEnvironment
+
+
+def make_platform(seed=0):
+    env = SimulationEnvironment()
+    return env, CrowdPlatform(env, seed=seed)
+
+
+class TestJobLifecycle:
+    def test_post_and_get(self):
+        _, platform = make_platform()
+        job = platform.post_job("t1", participants_needed=10, reward_usd=0.1)
+        assert platform.get_job(job.job_id) is job
+        assert job.open
+
+    def test_unknown_job(self):
+        _, platform = make_platform()
+        with pytest.raises(PlatformError):
+            platform.get_job("job-9999")
+
+    def test_invalid_parameters(self):
+        _, platform = make_platform()
+        with pytest.raises(PlatformError):
+            platform.post_job("t", participants_needed=0, reward_usd=0.1)
+        with pytest.raises(PlatformError):
+            platform.post_job("t", participants_needed=5, reward_usd=-1)
+
+    def test_close_job_stops_recruitment(self):
+        env, platform = make_platform()
+        job = platform.post_job("t", participants_needed=100, reward_usd=0.1)
+
+        def close_after_five(worker, t):
+            if job.participants_recruited >= 5:
+                platform.close_job(job.job_id)
+
+        platform.run_recruitment(job, on_recruit=close_after_five)
+        assert 5 <= job.participants_recruited <= 6
+
+
+class TestRecruitmentDynamics:
+    def test_recruits_to_quota(self):
+        env, platform = make_platform(seed=4)
+        job = platform.post_job("t", participants_needed=30, reward_usd=0.1)
+        platform.run_recruitment(job)
+        assert job.participants_recruited == 30
+        assert job.completion_time_s() is not None
+
+    def test_hundred_workers_take_roughly_half_a_day(self):
+        env, platform = make_platform(seed=4)
+        job = platform.post_job("t", participants_needed=100, reward_usd=0.11)
+        platform.run_recruitment(job)
+        hours = job.completion_time_s() / SECONDS_PER_HOUR
+        # Paper: "about 12 hours to collect all 100 responses".
+        assert 6 < hours < 30
+
+    def test_higher_reward_recruits_faster(self):
+        def completion(reward):
+            env, platform = make_platform(seed=8)
+            job = platform.post_job("t", participants_needed=60, reward_usd=reward)
+            platform.run_recruitment(job)
+            return job.completion_time_s()
+
+        assert completion(0.50) < completion(0.05)
+
+    def test_arrivals_monotone(self):
+        env, platform = make_platform(seed=1)
+        job = platform.post_job("t", participants_needed=20, reward_usd=0.1)
+        platform.run_recruitment(job)
+        arrivals = job.cumulative_arrivals()
+        assert arrivals == sorted(arrivals)
+        assert len(arrivals) == 20
+
+    def test_on_recruit_callback_sees_workers(self):
+        env, platform = make_platform(seed=2)
+        job = platform.post_job("t", participants_needed=5, reward_usd=0.1)
+        seen = []
+        platform.run_recruitment(job, on_recruit=lambda w, t: seen.append(w.worker_id))
+        assert len(seen) == 5
+        assert len(set(seen)) == 5
+
+    def test_max_duration_bounds_recruitment(self):
+        env, platform = make_platform(seed=3)
+        job = platform.post_job("t", participants_needed=10_000, reward_usd=0.01)
+        platform.run_recruitment(job, max_duration_s=2 * SECONDS_PER_HOUR)
+        assert job.participants_recruited < 10_000
+        assert job.completion_time_s() is None
+
+
+class TestEconomics:
+    def test_total_cost(self):
+        env, platform = make_platform(seed=5)
+        job = platform.post_job("t", participants_needed=100, reward_usd=0.11)
+        platform.run_recruitment(job)
+        assert job.total_cost_usd == pytest.approx(11.0)
+
+    def test_cost_per_comparison(self):
+        env, platform = make_platform()
+        job = platform.post_job("t", participants_needed=1, reward_usd=0.11)
+        assert job.cost_per_comparison_usd == pytest.approx(0.01)
+
+
+class TestRateModel:
+    def test_reward_elasticity_sublinear(self):
+        _, platform = make_platform()
+        base = platform.arrival_rate_per_hour(0.10, hour_of_day=14)
+        doubled = platform.arrival_rate_per_hour(0.20, hour_of_day=14)
+        assert base < doubled < 2 * base
+
+    def test_diurnal_variation(self):
+        _, platform = make_platform()
+        peak = platform.arrival_rate_per_hour(0.10, hour_of_day=20)
+        trough = platform.arrival_rate_per_hour(0.10, hour_of_day=8)
+        assert peak > trough
+
+    def test_reference_rate_calibration(self):
+        _, platform = make_platform()
+        rates = [
+            platform.arrival_rate_per_hour(0.10, hour) for hour in range(24)
+        ]
+        assert sum(rates) / 24 == pytest.approx(BASE_ARRIVALS_PER_HOUR * 0.8, rel=0.05)

@@ -1,0 +1,171 @@
+"""Tests for the worker-reputation ledger."""
+
+import pytest
+
+from repro.core.extension import Answer, ParticipantResult
+from repro.core.quality import DropRecord, QualityReport
+from repro.crowd.behavior import BehaviorTrace
+from repro.crowd.reputation import ReputationLedger, repeat_campaign_kept_rates
+from repro.errors import ValidationError
+
+TRACE = BehaviorTrace(0.5, 0, 2)
+
+
+def control_result(worker_id, answer, kind="identical"):
+    if kind == "identical":
+        record = Answer("ctrl", "q1", answer, "a", "a", True, TRACE)
+    else:
+        record = Answer("ctrl", "q1", answer, "__contrast__", "a", True, TRACE)
+    return ParticipantResult("t", worker_id, {}, [record])
+
+
+class TestScoring:
+    def test_unknown_worker_gets_prior(self):
+        ledger = ReputationLedger(prior_passes=4, prior_failures=1)
+        assert ledger.score("nobody") == pytest.approx(0.8)
+
+    def test_passes_raise_score(self):
+        ledger = ReputationLedger()
+        for _ in range(10):
+            ledger.record("good", True)
+        assert ledger.score("good") > 0.9
+
+    def test_failures_sink_score(self):
+        ledger = ReputationLedger()
+        for _ in range(10):
+            ledger.record("bad", False)
+        assert ledger.score("bad") < 0.3
+
+    def test_trust_gate(self):
+        ledger = ReputationLedger()
+        for _ in range(6):
+            ledger.record("bad", False)
+        assert not ledger.is_trusted("bad")
+        assert ledger.is_trusted("fresh")  # prior clears 0.75
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValidationError):
+            ReputationLedger().is_trusted("w", threshold=1.0)
+
+    def test_invalid_prior_rejected(self):
+        with pytest.raises(ValidationError):
+            ReputationLedger(prior_passes=0)
+
+    def test_trusted_workers_sorted_best_first(self):
+        ledger = ReputationLedger()
+        for _ in range(8):
+            ledger.record("star", True)
+        ledger.record("ok", True)
+        scores = ledger.trusted_workers()
+        assert scores[0] == "star"
+        assert "ok" in scores
+
+    def test_summary(self):
+        ledger = ReputationLedger()
+        ledger.record("w1", True)
+        ledger.record("w2", False)
+        count, mean = ledger.summary()
+        assert count == 2
+        assert 0 < mean < 1
+
+
+class TestControlRecording:
+    def test_correct_identical_answer_passes(self):
+        ledger = ReputationLedger()
+        assert ledger.record_control_answers(control_result("w", "same")) == 1
+        assert ledger.records["w"].passes == 1
+
+    def test_wrong_identical_answer_fails(self):
+        ledger = ReputationLedger()
+        ledger.record_control_answers(control_result("w", "left"))
+        assert ledger.records["w"].failures == 1
+
+    def test_contrast_expected_side(self):
+        ledger = ReputationLedger()
+        ledger.record_control_answers(control_result("w", "right", kind="contrast"))
+        assert ledger.records["w"].passes == 1
+
+    def test_non_control_answers_ignored(self):
+        ledger = ReputationLedger()
+        result = ParticipantResult(
+            "t", "w", {}, [Answer("p", "q1", "left", "a", "b", False, TRACE)]
+        )
+        assert ledger.record_control_answers(result) == 0
+
+
+class TestLongitudinalChannel:
+    def test_quality_reports_feed_history(self):
+        ledger = ReputationLedger()
+        report = QualityReport(
+            kept=[control_result("good", "same")],
+            dropped=[DropRecord("bad", "control-question:failed")],
+        )
+        ledger.record_quality_report(report)
+        assert ledger.score("good") > ledger.score("bad")
+
+    def test_gating_improves_second_campaign(self):
+        """Excluding low-reputation workers raises the kept rate — the
+        'historically trustworthy' effect, built up rather than assumed."""
+        from repro.core.quality import QualityControl
+        from repro.crowd.judgment import judge_contrast_pair, judge_identical_pair
+        from repro.crowd.workers import generate_population, PopulationMix
+        import numpy as np
+
+        rng = np.random.default_rng(17)
+        open_mix = PopulationMix(trustworthy=0.55, distracted=0.2, spammer=0.25)
+        population = generate_population(120, open_mix, rng=rng)
+        ledger = ReputationLedger()
+
+        def run_campaign(workers):
+            results = []
+            for worker in workers:
+                answers = [
+                    Answer(
+                        "ctrl-i",
+                        "q1",
+                        judge_identical_pair(worker, rng=rng),
+                        "a",
+                        "a",
+                        True,
+                        TRACE,
+                    ),
+                    Answer(
+                        "ctrl-c",
+                        "q1",
+                        judge_contrast_pair(worker, "right", rng=rng),
+                        "__contrast__",
+                        "a",
+                        True,
+                        TRACE,
+                    ),
+                    Answer("p0", "q1", "left", "a", "b", False, TRACE),
+                ]
+                results.append(ParticipantResult("t", worker.worker_id, {}, answers))
+            report = QualityControl().apply(results, expected_answers_per_page=3)
+            for result in results:
+                ledger.record_control_answers(result)
+            return report
+
+        first = run_campaign(population)
+        first_rate = len(first.kept) / len(population)
+        # Second campaign recruits only workers whose history clears the bar.
+        survivors = [
+            w for w in population if ledger.is_trusted(w.worker_id, threshold=0.75)
+        ]
+        second = run_campaign(survivors)
+        second_rate = len(second.kept) / len(survivors)
+        assert second_rate > first_rate + 0.05
+
+    def test_repeat_kept_rates_helper(self):
+        ledger = ReputationLedger()
+        reports = [
+            QualityReport(kept=[control_result("a", "same")], dropped=[]),
+            QualityReport(
+                kept=[],
+                dropped=[DropRecord("b", "engagement:too-fast")],
+            ),
+        ]
+        rates = repeat_campaign_kept_rates(ledger, reports)
+        assert rates == [1.0, 0.0]
+        assert ledger.records["a"].passes == 1
+        assert ledger.records["b"].failures == 1

@@ -1,0 +1,67 @@
+"""Tests for demographic-targeted recruitment."""
+
+import pytest
+
+from repro.crowd.demographics import Demographics
+from repro.crowd.platform import CrowdPlatform, matches_target
+from repro.errors import PlatformError
+from repro.sim.clock import SimulationEnvironment
+
+US_ENGINEER = Demographics("female", "25-34", "US", 5)
+
+
+class TestMatchesTarget:
+    def test_empty_target_accepts_all(self):
+        assert matches_target(US_ENGINEER, {})
+        assert matches_target(US_ENGINEER, None)
+
+    def test_single_value(self):
+        assert matches_target(US_ENGINEER, {"country": "US"})
+        assert not matches_target(US_ENGINEER, {"country": "DE"})
+
+    def test_value_list(self):
+        assert matches_target(US_ENGINEER, {"country": ["DE", "US"]})
+        assert not matches_target(US_ENGINEER, {"country": ["DE", "FR"]})
+
+    def test_multiple_attributes_all_must_match(self):
+        assert matches_target(US_ENGINEER, {"country": "US", "tech_ability": [4, 5]})
+        assert not matches_target(US_ENGINEER, {"country": "US", "tech_ability": [1, 2]})
+
+    def test_empty_allowed_means_any(self):
+        assert matches_target(US_ENGINEER, {"country": []})
+        assert matches_target(US_ENGINEER, {"country": None})
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(PlatformError):
+            matches_target(US_ENGINEER, {"shoe_size": 42})
+
+
+class TestTargetedRecruitment:
+    def make(self, target, needed=30, seed=6):
+        env = SimulationEnvironment()
+        platform = CrowdPlatform(env, seed=seed)
+        job = platform.post_job(
+            "t", participants_needed=needed, reward_usd=0.1,
+            target_demographics=target,
+        )
+        platform.run_recruitment(job)
+        return job
+
+    def test_all_recruits_match_target(self):
+        job = self.make({"country": ["US", "GB"]})
+        assert job.participants_recruited == 30
+        for recruitment in job.recruitments:
+            assert recruitment.worker.demographics.country in ("US", "GB")
+
+    def test_screening_counted(self):
+        job = self.make({"country": "US"})
+        assert job.screened_out > 0
+
+    def test_targeting_slows_recruitment(self):
+        open_job = self.make({}, needed=40)
+        narrow_job = self.make({"country": "US", "age_range": ["25-34"]}, needed=40)
+        assert narrow_job.completion_time_s() > open_job.completion_time_s()
+
+    def test_untargeted_job_screens_nobody(self):
+        job = self.make({}, needed=20)
+        assert job.screened_out == 0

@@ -1,0 +1,95 @@
+"""Tests for worker population models."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.workers import (
+    FIGURE_EIGHT_TRUSTWORTHY_MIX,
+    IN_LAB_MIX,
+    PopulationMix,
+    WorkerType,
+    generate_population,
+    generate_worker,
+)
+from repro.errors import ValidationError
+
+from tests.conftest import make_worker
+
+
+class TestWorkerProfile:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            make_worker(worker_type="robot")
+
+    def test_attention_bounds(self):
+        with pytest.raises(ValidationError):
+            make_worker(attention=1.5)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            make_worker(judgment_sigma=-0.1)
+
+    def test_spammer_is_random_clicker(self):
+        assert make_worker(worker_type=WorkerType.SPAMMER).is_random_clicker
+        assert not make_worker().is_random_clicker
+
+
+class TestPopulationMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            PopulationMix(trustworthy=0.5, distracted=0.2, spammer=0.2)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            PopulationMix(trustworthy=1.2, distracted=-0.2, spammer=0.0)
+
+    def test_paper_mixes_valid(self):
+        assert FIGURE_EIGHT_TRUSTWORTHY_MIX.spammer > 0
+        assert IN_LAB_MIX.spammer == 0
+
+
+class TestGeneration:
+    def test_population_size(self, rng):
+        assert len(generate_population(25, FIGURE_EIGHT_TRUSTWORTHY_MIX, rng=rng)) == 25
+
+    def test_worker_ids_unique(self, rng):
+        population = generate_population(30, FIGURE_EIGHT_TRUSTWORTHY_MIX, rng=rng)
+        assert len({w.worker_id for w in population}) == 30
+
+    def test_mix_fractions_approximated(self):
+        population = generate_population(
+            2000, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=7
+        )
+        trustworthy = sum(w.worker_type == WorkerType.TRUSTWORTHY for w in population)
+        assert 0.68 < trustworthy / 2000 < 0.80
+
+    def test_inlab_has_no_spammers(self):
+        population = generate_population(300, IN_LAB_MIX, seed=7)
+        assert all(w.worker_type != WorkerType.SPAMMER for w in population)
+
+    def test_type_noise_ordering(self):
+        population = generate_population(500, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=3)
+        by_type = {}
+        for worker in population:
+            by_type.setdefault(worker.worker_type, []).append(worker.judgment_sigma)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(by_type[WorkerType.TRUSTWORTHY]) < mean(by_type[WorkerType.DISTRACTED])
+        assert mean(by_type[WorkerType.DISTRACTED]) < mean(by_type[WorkerType.SPAMMER])
+
+    def test_spammers_rush(self):
+        population = generate_population(500, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=3)
+        spammers = [w for w in population if w.worker_type == WorkerType.SPAMMER]
+        trustworthy = [w for w in population if w.worker_type == WorkerType.TRUSTWORTHY]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([w.speed_factor for w in spammers]) < mean(
+            [w.speed_factor for w in trustworthy]
+        )
+
+    def test_seeded_reproducibility(self):
+        a = generate_worker("w1", FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=9)
+        b = generate_worker("w1", FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=9)
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_population(-1, IN_LAB_MIX, seed=0)

@@ -1,0 +1,69 @@
+"""Tests for the HTTP/1.1 vs HTTP/2 extension experiment."""
+
+import pytest
+
+from repro.experiments.http_versions import (
+    VERSION_H1,
+    VERSION_H2,
+    HttpVersionsExperiment,
+    region_times_of,
+)
+from repro.net.profiles import get_profile
+
+
+class TestSetup:
+    def test_schedules_differ_per_protocol(self):
+        experiment = HttpVersionsExperiment(seed=0)
+        schedules = experiment.build_schedules()
+        assert schedules["http1"].entries != schedules["http2"].entries
+
+    def test_region_times_extraction(self):
+        experiment = HttpVersionsExperiment(seed=0)
+        schedules = experiment.build_schedules()
+        times = region_times_of(schedules["http1"])
+        assert set(times) == {"main", "auxiliary"}
+        assert times["main"] > 0
+
+    def test_parameters_embed_schedules(self):
+        experiment = HttpVersionsExperiment(seed=0)
+        schedules = experiment.build_schedules()
+        params = experiment.build_parameters(schedules, participants=10)
+        assert params.webpage_num == 2
+        for spec in params.webpages:
+            assert isinstance(spec.web_page_load, list)
+
+    def test_h2_speed_index_better_on_3g(self):
+        experiment = HttpVersionsExperiment(seed=0, profile=get_profile("3g"))
+        schedules = experiment.build_schedules()
+        metrics = experiment.measure(schedules)
+        assert metrics[VERSION_H2].speed_index < metrics[VERSION_H1].speed_index
+
+    def test_gap_shrinks_on_fiber(self):
+        slow = HttpVersionsExperiment(seed=0, profile=get_profile("3g"))
+        fast = HttpVersionsExperiment(seed=0, profile=get_profile("fiber"))
+        slow_metrics = slow.measure(slow.build_schedules())
+        fast_metrics = fast.measure(fast.build_schedules())
+        slow_gap = (
+            slow_metrics[VERSION_H1].speed_index - slow_metrics[VERSION_H2].speed_index
+        )
+        fast_gap = (
+            fast_metrics[VERSION_H1].speed_index - fast_metrics[VERSION_H2].speed_index
+        )
+        assert fast_gap < slow_gap
+
+
+class TestSmallScaleRun:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return HttpVersionsExperiment(seed=11).run(participants=50)
+
+    def test_crowd_prefers_h2_on_3g(self, outcome):
+        assert outcome.crowd_prefers_h2
+        assert outcome.controlled_tally.right_count > outcome.controlled_tally.left_count
+
+    def test_objective_and_subjective_agree(self, outcome):
+        assert outcome.h2_speed_index_gain > 0
+        assert outcome.raw_tally.right_count >= outcome.raw_tally.left_count
+
+    def test_profile_recorded(self, outcome):
+        assert outcome.profile_name == "3g"

@@ -1,0 +1,78 @@
+"""Tests for Experiment 3 (page-load feature and uPLT)."""
+
+import pytest
+
+from repro.experiments.pageload import (
+    FAST_MS,
+    SLOW_MS,
+    VERSION_A,
+    VERSION_B,
+    PageLoadExperiment,
+    build_parameters,
+    schedule_for,
+)
+from repro.render.replay import SelectorSchedule
+
+
+class TestSetup:
+    def test_schedules_are_mirrored(self):
+        a = schedule_for(VERSION_A)
+        b = schedule_for(VERSION_B)
+        assert dict(a.entries)["#navbar"] == FAST_MS
+        assert dict(a.entries)["#mw-content-text"] == SLOW_MS
+        assert dict(b.entries)["#navbar"] == SLOW_MS
+        assert dict(b.entries)["#mw-content-text"] == FAST_MS
+
+    def test_parameters_use_selector_array_form(self):
+        params = build_parameters()
+        for spec in params.webpages:
+            assert isinstance(spec.web_page_load, list)
+            assert isinstance(spec.schedule(), SelectorSchedule)
+
+    def test_measured_metrics_share_atf(self):
+        metrics = PageLoadExperiment(seed=0).measure_visual_metrics()
+        assert metrics[VERSION_A].above_the_fold_ms == metrics[VERSION_B].above_the_fold_ms
+
+    def test_main_first_version_has_lower_speed_index(self):
+        metrics = PageLoadExperiment(seed=0).measure_visual_metrics()
+        assert metrics[VERSION_B].speed_index < metrics[VERSION_A].speed_index
+
+    def test_measured_region_times_match_nominal(self):
+        """The replay-derived stimulus equals the schedule's intent."""
+        from repro.experiments.pageload import REGION_TIMES, measured_region_times
+
+        measured = measured_region_times()
+        for version in (VERSION_A, VERSION_B):
+            assert measured[version] == REGION_TIMES[version]
+
+
+class TestSmallScaleRun:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return PageLoadExperiment(seed=5).run(participants=60)
+
+    def test_premise_holds(self, outcome):
+        assert outcome.atf_equal
+
+    def test_main_first_version_preferred(self, outcome):
+        """Paper: B ('main text first') wins raw (46%) and QC (54%)."""
+        assert outcome.raw_tally.right_count > outcome.raw_tally.left_count
+        assert (
+            outcome.controlled_tally.right_count
+            > outcome.controlled_tally.left_count
+        )
+
+    def test_quality_control_does_not_weaken_result(self, outcome):
+        """Paper: the result is 'more significant after filtering'."""
+        raw_margin = outcome.raw_tally.right_count - outcome.raw_tally.left_count
+        controlled = outcome.controlled_tally
+        controlled_margin_pct = (
+            controlled.percentages["right"] - controlled.percentages["left"]
+        )
+        raw_margin_pct = (
+            outcome.raw_tally.percentages["right"] - outcome.raw_tally.percentages["left"]
+        )
+        assert controlled_margin_pct >= raw_margin_pct - 8  # noise margin
+
+    def test_some_participants_answer_same(self, outcome):
+        assert outcome.raw_tally.same_count > 0

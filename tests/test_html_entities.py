@@ -1,0 +1,42 @@
+"""Tests for HTML entity encoding/decoding."""
+
+from repro.html.entities import decode_entities, encode_attribute, encode_text
+
+
+class TestDecode:
+    def test_named(self):
+        assert decode_entities("a &amp; b &lt; c &gt; d") == "a & b < c > d"
+
+    def test_numeric_decimal(self):
+        assert decode_entities("&#65;&#66;") == "AB"
+
+    def test_numeric_hex(self):
+        assert decode_entities("&#x41;&#X42;") == "AB"
+
+    def test_unknown_named_left_verbatim(self):
+        assert decode_entities("&bogus;") == "&bogus;"
+
+    def test_out_of_range_numeric_left_verbatim(self):
+        assert decode_entities("&#1114112;") == "&#1114112;"
+
+    def test_no_ampersand_fast_path(self):
+        text = "plain text"
+        assert decode_entities(text) is text
+
+    def test_typographic_entities(self):
+        assert decode_entities("&mdash;&hellip;&rsquo;") == "—…’"
+
+    def test_nbsp_becomes_nonbreaking_space(self):
+        assert decode_entities("a&nbsp;b") == "a\xa0b"
+
+
+class TestEncode:
+    def test_text_minimal_escaping(self):
+        assert encode_text('<b> & "q"') == '&lt;b&gt; &amp; "q"'
+
+    def test_attribute_escapes_quotes(self):
+        assert encode_attribute('say "hi" & <bye>') == "say &quot;hi&quot; &amp; &lt;bye&gt;"
+
+    def test_round_trip(self):
+        original = 'x < y & y > "z"'
+        assert decode_entities(encode_attribute(original)) == original

@@ -1,0 +1,111 @@
+"""Tests for URL parsing and resolution."""
+
+import pytest
+
+from repro.html.urlutil import (
+    guess_content_type,
+    is_absolute,
+    is_data_url,
+    normalize_path,
+    resolve_url,
+    split_url,
+)
+
+
+class TestSplitUrl:
+    def test_basic(self):
+        parts = split_url("http://host.local/a/b.html")
+        assert (parts.scheme, parts.host, parts.path) == ("http", "host.local", "/a/b.html")
+
+    def test_no_path(self):
+        assert split_url("http://host").path == "/"
+
+    def test_case_normalization(self):
+        parts = split_url("HTTP://HOST/Path")
+        assert parts.scheme == "http"
+        assert parts.host == "host"
+        assert parts.path == "/Path"  # path case preserved
+
+    def test_unsplit_round_trip(self):
+        url = "https://x.y/a/b"
+        assert split_url(url).unsplit() == url
+
+    def test_relative_rejected(self):
+        with pytest.raises(ValueError):
+            split_url("a/b.html")
+
+
+class TestPredicates:
+    def test_is_absolute(self):
+        assert is_absolute("http://x/")
+        assert not is_absolute("/x")
+        assert not is_absolute("x.png")
+
+    def test_is_data_url(self):
+        assert is_data_url("data:image/png;base64,AAA")
+        assert not is_data_url("http://x/")
+
+
+class TestNormalizePath:
+    def test_dot_segments(self):
+        assert normalize_path("/a/./b/../c") == "/a/c"
+
+    def test_leading_parent_clamped(self):
+        assert normalize_path("/../../x") == "/x"
+
+    def test_trailing_slash_kept(self):
+        assert normalize_path("/a/b/") == "/a/b/"
+
+    def test_root(self):
+        assert normalize_path("/") == "/"
+
+
+class TestResolveUrl:
+    BASE = "http://host.local/dir/page.html"
+
+    def test_absolute_passthrough(self):
+        assert resolve_url(self.BASE, "https://other/x") == "https://other/x"
+
+    def test_data_url_passthrough(self):
+        assert resolve_url(self.BASE, "data:text/plain,x") == "data:text/plain,x"
+
+    def test_root_relative(self):
+        assert resolve_url(self.BASE, "/img/a.png") == "http://host.local/img/a.png"
+
+    def test_path_relative(self):
+        assert resolve_url(self.BASE, "img/a.png") == "http://host.local/dir/img/a.png"
+
+    def test_parent_relative(self):
+        assert resolve_url(self.BASE, "../up.css") == "http://host.local/up.css"
+
+    def test_protocol_relative(self):
+        assert resolve_url(self.BASE, "//cdn.x/lib.js") == "http://cdn.x/lib.js"
+
+    def test_fragment_returns_base(self):
+        assert resolve_url(self.BASE, "#anchor") == self.BASE
+
+    def test_empty_returns_base(self):
+        assert resolve_url(self.BASE, "") == self.BASE
+
+    def test_whitespace_stripped(self):
+        assert resolve_url(self.BASE, "  img/a.png ") == "http://host.local/dir/img/a.png"
+
+
+class TestGuessContentType:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("/x.html", "text/html"),
+            ("/x.css", "text/css"),
+            ("/x.js", "application/javascript"),
+            ("/x.png", "image/png"),
+            ("/x.jpg", "image/jpeg"),
+            ("/x.svg", "image/svg+xml"),
+            ("/x.unknown", "application/octet-stream"),
+        ],
+    )
+    def test_extensions(self, path, expected):
+        assert guess_content_type(path) == expected
+
+    def test_case_insensitive(self):
+        assert guess_content_type("/X.PNG") == "image/png"

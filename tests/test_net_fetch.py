@@ -1,0 +1,82 @@
+"""Tests for resource fetching."""
+
+import pytest
+
+from repro.errors import FetchError
+from repro.net.fetch import FetchedResource, ResourceFetcher, StaticResourceMap
+from repro.net.simnet import SimulatedNetwork
+
+
+class TestStaticResourceMap:
+    def test_fetch_text(self):
+        resources = StaticResourceMap({"http://h/a.css": "p{}"})
+        fetched = resources.fetch("http://h/a.css")
+        assert fetched.text == "p{}"
+        assert fetched.content_type == "text/css"
+
+    def test_fetch_bytes(self):
+        resources = StaticResourceMap({"http://h/a.png": b"\x89PNG"})
+        assert resources.fetch("http://h/a.png").body_bytes == b"\x89PNG"
+
+    def test_explicit_content_type(self):
+        resources = StaticResourceMap()
+        resources.add("http://h/data", "x", content_type="application/custom")
+        assert resources.fetch("http://h/data").content_type == "application/custom"
+
+    def test_missing_raises_fetch_error(self):
+        with pytest.raises(FetchError) as excinfo:
+            StaticResourceMap().fetch("http://h/none")
+        assert excinfo.value.status == 404
+
+    def test_contains_and_len(self):
+        resources = StaticResourceMap({"http://h/a": "1", "http://h/b": "2"})
+        assert "http://h/a" in resources
+        assert len(resources) == 2
+
+
+class TestAsServer:
+    def test_serves_matching_host_and_path(self):
+        resources = StaticResourceMap({"http://files.local/a/deep/x.js": "code();"})
+        network = SimulatedNetwork()
+        network.attach(resources.as_server("files.local"))
+        response = network.get("http://files.local/a/deep/x.js")
+        assert response.ok
+        assert response.text == "code();"
+        assert response.content_type == "application/javascript"
+
+    def test_404_for_missing(self):
+        resources = StaticResourceMap()
+        network = SimulatedNetwork()
+        network.attach(resources.as_server("files.local"))
+        assert network.get("http://files.local/nope").status == 404
+
+
+class TestResourceFetcher:
+    def test_fetch_over_network(self):
+        resources = StaticResourceMap({"http://files.local/s.css": "a{}"})
+        network = SimulatedNetwork()
+        network.attach(resources.as_server("files.local"))
+        fetcher = ResourceFetcher(network)
+        fetched = fetcher.fetch("http://files.local/s.css")
+        assert fetched.text == "a{}"
+        assert fetched.elapsed_seconds > 0
+
+    def test_non_2xx_raises(self):
+        resources = StaticResourceMap()
+        network = SimulatedNetwork()
+        network.attach(resources.as_server("files.local"))
+        with pytest.raises(FetchError) as excinfo:
+            ResourceFetcher(network).fetch("http://files.local/gone.css")
+        assert excinfo.value.status == 404
+
+    def test_unroutable_host_wrapped(self):
+        with pytest.raises(FetchError):
+            ResourceFetcher(SimulatedNetwork()).fetch("http://ghost/x")
+
+
+class TestFetchedResource:
+    def test_size(self):
+        assert FetchedResource("u", "text/plain", b"abc").size_bytes == 3
+
+    def test_text_decoding_lossy(self):
+        assert "�" in FetchedResource("u", "text/plain", b"\xff\xfe").text

@@ -1,0 +1,129 @@
+"""Tests for the HTTP/1.1 vs HTTP/2 object-load simulation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.datasets import build_wikipedia_page
+from repro.net.objectload import (
+    PageObject,
+    http1_completion_times,
+    http2_completion_times,
+    page_object_inventory,
+    protocol_schedules,
+    schedule_from_completions,
+)
+from repro.net.profiles import NetworkProfile, get_profile
+
+FAST = NetworkProfile("fast", rtt_ms=5, downlink_kbps=50_000, uplink_kbps=50_000)
+SLOW = NetworkProfile("slow", rtt_ms=300, downlink_kbps=1_000, uplink_kbps=1_000)
+
+
+def many_small_objects(count=24, size=2_000):
+    return [
+        PageObject(name=f"o{i:02d}", selector="#main", size_bytes=size, priority=i)
+        for i in range(count)
+    ]
+
+
+class TestHttp1:
+    def test_all_objects_complete(self):
+        objects = many_small_objects()
+        times = http1_completion_times(objects, FAST)
+        assert set(times) == {o.name for o in objects}
+        assert all(t > 0 for t in times.values())
+
+    def test_queueing_beyond_connection_limit(self):
+        objects = many_small_objects(12)
+        six = http1_completion_times(objects, SLOW, max_connections=6)
+        one = http1_completion_times(objects, SLOW, max_connections=1)
+        assert max(six.values()) < max(one.values())
+
+    def test_priority_order_respected(self):
+        objects = many_small_objects(8)
+        times = http1_completion_times(objects, SLOW, max_connections=1)
+        ordered = [times[f"o{i:02d}"] for i in range(8)]
+        assert ordered == sorted(ordered)
+
+    def test_invalid_connections_rejected(self):
+        with pytest.raises(ValidationError):
+            http1_completion_times(many_small_objects(2), FAST, max_connections=0)
+
+    def test_zero_size_object_rejected(self):
+        with pytest.raises(ValidationError):
+            PageObject("x", "#m", 0)
+
+
+class TestHttp2:
+    def test_all_objects_complete(self):
+        objects = many_small_objects()
+        times = http2_completion_times(objects, FAST)
+        assert set(times) == {o.name for o in objects}
+
+    def test_small_objects_finish_before_large(self):
+        objects = [
+            PageObject("small", "#m", 1_000),
+            PageObject("large", "#m", 100_000),
+        ]
+        times = http2_completion_times(objects, SLOW)
+        assert times["small"] < times["large"]
+
+    def test_beats_http1_on_high_latency_many_objects(self):
+        objects = many_small_objects(30)
+        h1 = http1_completion_times(objects, SLOW)
+        h2 = http2_completion_times(objects, SLOW)
+        assert max(h2.values()) < max(h1.values())
+
+    def test_no_big_win_on_fast_link_few_objects(self):
+        objects = many_small_objects(3)
+        h1 = http1_completion_times(objects, FAST)
+        h2 = http2_completion_times(objects, FAST)
+        # With 3 objects on fiber both are within a couple of RTTs.
+        assert abs(max(h1.values()) - max(h2.values())) < 50
+
+
+class TestInventory:
+    def test_regions_produce_objects(self):
+        page = build_wikipedia_page()
+        objects = page_object_inventory(page, ("#navbar", "#mw-content-text"))
+        assert len(objects) > 8
+        selectors = {o.selector for o in objects}
+        assert selectors == {"#navbar", "#mw-content-text"}
+
+    def test_images_counted(self):
+        page = build_wikipedia_page()
+        objects = page_object_inventory(page, ("#infobox",))
+        assert any("img" in o.name for o in objects)
+
+    def test_unknown_region_rejected(self):
+        page = build_wikipedia_page()
+        with pytest.raises(ValidationError):
+            page_object_inventory(page, ("#nope",))
+
+
+class TestScheduleConversion:
+    def test_region_visible_at_last_object(self):
+        objects = [
+            PageObject("a1", "#a", 1_000, priority=0),
+            PageObject("a2", "#a", 2_000, priority=1),
+            PageObject("b1", "#b", 1_000, priority=2),
+        ]
+        completions = {"a1": 104.0, "a2": 221.0, "b1": 155.0}
+        schedule = schedule_from_completions(objects, completions)
+        by_selector = dict(schedule.entries)
+        assert by_selector["#a"] == 220.0  # max of a1/a2, rounded to 10ms
+        assert by_selector["#b"] == 160.0
+
+    def test_protocol_schedules_shapes(self):
+        page = build_wikipedia_page()
+        schedules = protocol_schedules(page, ("#navbar", "#mw-content-text"), SLOW)
+        h1_main = dict(schedules["http1"].entries)["#mw-content-text"]
+        h2_main = dict(schedules["http2"].entries)["#mw-content-text"]
+        assert h2_main < h1_main  # multiplexing wins on the slow link
+
+    def test_schedules_usable_as_parameters(self):
+        page = build_wikipedia_page()
+        schedules = protocol_schedules(page, ("#navbar",), get_profile("cable"))
+        from repro.render.replay import schedule_from_parameter
+
+        restored = schedule_from_parameter(schedules["http1"].to_parameter())
+        assert restored.entries == schedules["http1"].entries

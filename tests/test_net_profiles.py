@@ -1,0 +1,54 @@
+"""Tests for network profiles."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.profiles import PROFILES, NetworkProfile, get_profile
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+            assert profile.downlink_kbps > 0
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("FIBER") is PROFILES["fiber"]
+
+    def test_unknown_profile_lists_known(self):
+        with pytest.raises(ValidationError) as excinfo:
+            get_profile("56k")
+        assert "fiber" in str(excinfo.value)
+
+
+class TestTiming:
+    def test_download_includes_rtt(self):
+        profile = NetworkProfile("t", rtt_ms=100, downlink_kbps=1000, uplink_kbps=1000)
+        assert profile.download_seconds(0) == pytest.approx(0.1)
+
+    def test_download_serialization_delay(self):
+        profile = NetworkProfile("t", rtt_ms=0, downlink_kbps=8, uplink_kbps=8)
+        # 8 kbps = 1000 bytes/s
+        assert profile.download_seconds(1000) == pytest.approx(1.0)
+
+    def test_faster_profile_is_faster(self):
+        assert PROFILES["fiber"].download_seconds(100_000) < PROFILES["3g"].download_seconds(100_000)
+
+    def test_request_seconds_combines_directions(self):
+        profile = NetworkProfile("t", rtt_ms=10, downlink_kbps=8, uplink_kbps=8)
+        total = profile.request_seconds(500, 1000)
+        assert total == pytest.approx(0.01 + 0.5 + 1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            PROFILES["cable"].download_seconds(-1)
+
+
+class TestValidation:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkProfile("t", rtt_ms=-1, downlink_kbps=1, uplink_kbps=1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            NetworkProfile("t", rtt_ms=1, downlink_kbps=0, uplink_kbps=1)

@@ -1,0 +1,100 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.http import HttpServer, Request, Response
+from repro.net.profiles import get_profile
+from repro.net.simnet import Client, SimulatedNetwork
+from repro.sim.clock import SimulationEnvironment
+
+
+def make_server(host="srv.local"):
+    server = HttpServer(host)
+    server.router.get("/hello", lambda r: Response.text_response("world"))
+    server.router.post("/echo", lambda r: Response.json_response(r.json()))
+    return server
+
+
+class TestRouting:
+    def test_exchange_reaches_host(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        response, elapsed = network.exchange(Request.get("http://srv.local/hello"))
+        assert response.text == "world"
+        assert elapsed > 0
+
+    def test_unknown_host_raises(self):
+        network = SimulatedNetwork()
+        with pytest.raises(NetworkError):
+            network.get("http://ghost.local/")
+
+    def test_double_attach_rejected(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        with pytest.raises(NetworkError):
+            network.attach(make_server())
+
+    def test_detach(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        network.detach("srv.local")
+        assert network.hosts() == []
+
+    def test_multiple_hosts(self):
+        network = SimulatedNetwork()
+        network.attach(make_server("a.local"))
+        network.attach(make_server("b.local"))
+        assert network.get("http://a.local/hello").ok
+        assert network.get("http://b.local/hello").ok
+
+
+class TestTiming:
+    def test_profile_affects_elapsed(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        _, fast = network.exchange(Request.get("http://srv.local/hello"), get_profile("fiber"))
+        _, slow = network.exchange(Request.get("http://srv.local/hello"), get_profile("2g"))
+        assert slow > fast
+
+    def test_clock_advances_with_env(self):
+        env = SimulationEnvironment()
+        network = SimulatedNetwork(env)
+        network.attach(make_server())
+        before = env.now
+        _, elapsed = network.exchange(Request.get("http://srv.local/hello"))
+        assert env.now == pytest.approx(before + elapsed)
+
+    def test_no_env_no_clock(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        network.get("http://srv.local/hello")  # must not raise
+
+
+class TestAccounting:
+    def test_stats_and_log(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        network.get("http://srv.local/hello")
+        network.post_json("http://srv.local/echo", {"a": 1})
+        assert network.stats.requests == 2
+        assert network.stats.bytes_up > 0
+        assert network.stats.bytes_down > 0
+        assert [r.path for r in network.log] == ["/hello", "/echo"]
+
+    def test_error_counted(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        network.get("http://srv.local/missing")
+        assert network.stats.errors == 1
+
+
+class TestClient:
+    def test_accumulates_transfer_time(self):
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        client = Client(network, get_profile("3g"))
+        client.get("http://srv.local/hello")
+        client.post_json("http://srv.local/echo", {"x": 1})
+        assert client.requests_made == 2
+        assert client.total_transfer_seconds > 0

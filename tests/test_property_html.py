@@ -1,0 +1,126 @@
+"""Property-based tests for the HTML substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.html.dom import Element, Text
+from repro.html.entities import decode_entities, encode_attribute, encode_text
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+
+# Text without raw markup characters or entity-like runs.
+plain_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,!?-",
+    min_size=0,
+    max_size=40,
+)
+
+# Containers may hold elements; leaves hold only text. This matches valid
+# HTML nesting — the parser (correctly) rewrites invalid nesting like
+# <p><p>, which would be a false positive here.
+container_tags = st.sampled_from(["div", "section", "article", "blockquote"])
+leaf_tags = st.sampled_from(["p", "span", "em", "strong", "li"])
+
+attr_names = st.sampled_from(["id", "class", "title", "data-x", "lang"])
+
+attr_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " -_./<>&\"'",
+    min_size=0,
+    max_size=20,
+)
+
+
+@st.composite
+def dom_trees(draw, depth=0):
+    """A random, validly-nested element subtree."""
+    is_leaf = depth >= 3 or draw(st.booleans())
+    element = Element(draw(leaf_tags if is_leaf else container_tags))
+    for name in draw(st.lists(attr_names, max_size=3, unique=True)):
+        element.set(name, draw(attr_values))
+    child_count = draw(st.integers(0, 3))
+    for _ in range(child_count):
+        if not is_leaf and draw(st.booleans()):
+            element.append(draw(dom_trees(depth=depth + 1)))
+        else:
+            element.append(Text(draw(plain_text)))
+    return element
+
+
+def trees_equal(a: Element, b: Element) -> bool:
+    if a.tag != b.tag or a.attributes != b.attributes:
+        return False
+    # Adjacent text nodes may merge on reparse; compare concatenated text
+    # and the element-child sequence.
+    a_elements = a.element_children
+    b_elements = b.element_children
+    if len(a_elements) != len(b_elements):
+        return False
+    if a.text_content != b.text_content:
+        return False
+    return all(trees_equal(x, y) for x, y in zip(a_elements, b_elements))
+
+
+class TestSerializeParseRoundTrip:
+    @given(dom_trees())
+    @settings(max_examples=150)
+    def test_round_trip_preserves_structure(self, tree):
+        from repro.html.dom import Document
+
+        document = Document()
+        document.ensure_body().append(tree)
+        reparsed = parse_html(serialize(document))
+        assert trees_equal(document.body, reparsed.body)
+
+    @given(dom_trees())
+    @settings(max_examples=50)
+    def test_serialization_fixed_point(self, tree):
+        from repro.html.dom import Document
+
+        document = Document()
+        document.ensure_body().append(tree)
+        once = serialize(parse_html(serialize(document)))
+        twice = serialize(parse_html(once))
+        assert once == twice
+
+
+class TestEntityRoundTrip:
+    @given(st.text(max_size=100))
+    def test_text_encoding_round_trips(self, text):
+        assert decode_entities(encode_text(text)) == text
+
+    @given(st.text(max_size=100))
+    def test_attribute_encoding_round_trips(self, text):
+        assert decode_entities(encode_attribute(text)) == text
+
+    @given(st.text(max_size=100))
+    def test_encoded_text_has_no_raw_angles(self, text):
+        encoded = encode_text(text)
+        assert "<" not in encoded
+        assert ">" not in encoded
+
+
+class TestParserTotality:
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_parser_never_raises(self, markup):
+        document = parse_html(markup)
+        assert document.root.tag == "html"
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=100)
+    def test_parse_serialize_parse_stable(self, markup):
+        once = serialize(parse_html(markup))
+        twice = serialize(parse_html(once))
+        assert once == twice
+
+
+class TestCloneProperty:
+    @given(dom_trees())
+    @settings(max_examples=50)
+    def test_clone_equal_but_independent(self, tree):
+        copy = tree.clone()
+        assert trees_equal(tree, copy)
+        copy.set("data-mutated", "1")
+        assert tree.get("data-mutated") is None

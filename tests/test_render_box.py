@@ -1,0 +1,73 @@
+"""Tests for geometry primitives."""
+
+import pytest
+
+from repro.render.box import Box, Viewport
+
+
+class TestBox:
+    def test_derived_edges(self):
+        box = Box(10, 20, 30, 40)
+        assert box.right == 40
+        assert box.bottom == 60
+        assert box.area == 1200
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, -1, 5)
+
+    def test_intersect_overlapping(self):
+        a = Box(0, 0, 10, 10)
+        b = Box(5, 5, 10, 10)
+        overlap = a.intersect(b)
+        assert (overlap.x, overlap.y, overlap.width, overlap.height) == (5, 5, 5, 5)
+
+    def test_intersect_disjoint_is_zero_area(self):
+        a = Box(0, 0, 10, 10)
+        b = Box(20, 20, 5, 5)
+        assert a.intersect(b).area == 0
+        assert not a.intersects(b)
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Box(0, 0, 10, 10)
+        b = Box(10, 0, 10, 10)
+        assert not a.intersects(b)
+
+    def test_containment(self):
+        outer = Box(0, 0, 100, 100)
+        inner = Box(10, 10, 5, 5)
+        assert outer.intersect(inner).area == inner.area
+
+    def test_translate(self):
+        moved = Box(1, 2, 3, 4).translate(10, 20)
+        assert (moved.x, moved.y) == (11, 22)
+        assert (moved.width, moved.height) == (3, 4)
+
+    def test_intersect_commutative(self):
+        a = Box(0, 0, 7, 9)
+        b = Box(3, 4, 10, 2)
+        assert a.intersect(b) == b.intersect(a)
+
+
+class TestViewport:
+    def test_default_dimensions(self):
+        viewport = Viewport()
+        assert viewport.width == 1366
+        assert viewport.height == 768
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Viewport(width=0)
+
+    def test_above_the_fold_area_full(self):
+        viewport = Viewport(100, 100)
+        assert viewport.above_the_fold_area(Box(0, 0, 50, 50)) == 2500
+
+    def test_above_the_fold_area_partial(self):
+        viewport = Viewport(100, 100)
+        # Half the box hangs below the fold.
+        assert viewport.above_the_fold_area(Box(0, 50, 10, 100)) == 500
+
+    def test_below_the_fold_is_zero(self):
+        viewport = Viewport(100, 100)
+        assert viewport.above_the_fold_area(Box(0, 200, 10, 10)) == 0

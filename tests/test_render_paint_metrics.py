@@ -1,0 +1,164 @@
+"""Tests for the paint timeline and visual metrics."""
+
+import pytest
+
+from repro.html.parser import parse_html
+from repro.render.box import Viewport
+from repro.render.metrics import (
+    above_the_fold_time,
+    compute_visual_metrics,
+    page_load_time,
+    speed_index,
+    time_to_first_paint,
+    visually_ready_time,
+)
+from repro.render.paint import build_paint_timeline
+from repro.render.replay import SelectorSchedule, UniformRandomSchedule
+
+
+@pytest.fixture
+def page():
+    return parse_html(
+        """
+<div id="top"><p id="above">above the fold content</p></div>
+<div id="spacer" style="height: 3000px"></div>
+<div id="bottom"><p id="below" style="height: 50px">deep below</p></div>
+"""
+    )
+
+
+SMALL_VIEWPORT = Viewport(400, 300)
+
+
+class TestTimelineConstruction:
+    def test_events_only_for_paintable_leaves(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(0), SMALL_VIEWPORT)
+        tags = {e.element_tag for e in timeline.events}
+        assert "div" not in tags
+        assert "p" in tags
+
+    def test_events_sorted_by_time(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(3000), SMALL_VIEWPORT, seed=4)
+        times = [e.time_ms for e in timeline.events]
+        assert times == sorted(times)
+
+    def test_total_atf_area_counts_only_fold(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(0), SMALL_VIEWPORT)
+        below = [e for e in timeline.events if e.element_id == "below"]
+        assert below and below[0].atf_area == 0
+
+    def test_layout_reuse(self, page):
+        from repro.render.layout import LayoutEngine
+
+        layout = LayoutEngine(SMALL_VIEWPORT).layout(page)
+        timeline = build_paint_timeline(
+            page, UniformRandomSchedule(100), SMALL_VIEWPORT, seed=1, layout=layout
+        )
+        assert timeline.events
+
+
+class TestCompletenessCurve:
+    def test_monotone_and_ends_at_one(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(2000), SMALL_VIEWPORT, seed=2)
+        curve = timeline.completeness_curve()
+        fractions = [f for _, f in curve]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_completeness_at(self, page):
+        schedule = SelectorSchedule.from_pairs([("#above", 1000)], default_ms=2000)
+        timeline = build_paint_timeline(page, schedule, SMALL_VIEWPORT)
+        assert timeline.completeness_at(0) == 0.0
+        assert timeline.completeness_at(5000) == pytest.approx(1.0)
+
+    def test_empty_page(self):
+        page = parse_html("<body></body>")
+        timeline = build_paint_timeline(page, UniformRandomSchedule(1000), SMALL_VIEWPORT)
+        assert timeline.events == []
+        assert timeline.completeness_curve() == [(0.0, 1.0)]
+
+
+class TestMetrics:
+    def test_instant_load_all_zero(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(0), SMALL_VIEWPORT)
+        metrics = compute_visual_metrics(timeline)
+        assert metrics.page_load_time_ms == 0
+        assert metrics.speed_index == 0
+        assert metrics.above_the_fold_ms == 0
+
+    def test_plt_is_last_event(self, page):
+        schedule = SelectorSchedule.from_pairs(
+            [("#above", 500), ("#below", 4000)], default_ms=100
+        )
+        timeline = build_paint_timeline(page, schedule, SMALL_VIEWPORT)
+        assert page_load_time(timeline) == 4000
+
+    def test_atf_ignores_below_fold(self, page):
+        schedule = SelectorSchedule.from_pairs(
+            [("#above", 500), ("#below", 4000)], default_ms=100
+        )
+        timeline = build_paint_timeline(page, schedule, SMALL_VIEWPORT)
+        assert above_the_fold_time(timeline) == 500
+
+    def test_ttfp_is_first_event(self, page):
+        schedule = SelectorSchedule.from_pairs(
+            [("#above", 500), ("#below", 4000)], default_ms=700
+        )
+        timeline = build_paint_timeline(page, schedule, SMALL_VIEWPORT)
+        assert time_to_first_paint(timeline) == 500
+
+    def test_speed_index_lower_for_earlier_content(self, page):
+        early = SelectorSchedule.from_pairs([("#above", 200)], default_ms=4000)
+        late = SelectorSchedule.from_pairs([("#above", 3800)], default_ms=4000)
+        si_early = speed_index(build_paint_timeline(page, early, SMALL_VIEWPORT))
+        si_late = speed_index(build_paint_timeline(page, late, SMALL_VIEWPORT))
+        assert si_early < si_late
+
+    def test_speed_index_bounded_by_atf(self, page):
+        schedule = UniformRandomSchedule(3000)
+        timeline = build_paint_timeline(page, schedule, SMALL_VIEWPORT, seed=3)
+        assert 0 <= speed_index(timeline) <= above_the_fold_time(timeline)
+
+    def test_visually_ready_threshold(self, page):
+        schedule = SelectorSchedule.from_pairs([("#above", 1000)], default_ms=9000)
+        timeline = build_paint_timeline(page, schedule, SMALL_VIEWPORT)
+        # #above is all the above-the-fold content, so 85% is hit at 1000ms.
+        assert visually_ready_time(timeline, 0.85) == 1000
+
+    def test_invalid_threshold_rejected(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(0), SMALL_VIEWPORT)
+        with pytest.raises(ValueError):
+            visually_ready_time(timeline, 0.0)
+
+    def test_as_dict_keys(self, page):
+        timeline = build_paint_timeline(page, UniformRandomSchedule(0), SMALL_VIEWPORT)
+        metrics = compute_visual_metrics(timeline).as_dict()
+        assert set(metrics) == {
+            "page_load_time_ms",
+            "time_to_first_paint_ms",
+            "above_the_fold_ms",
+            "speed_index",
+            "visually_ready_ms",
+        }
+
+
+class TestEqualATFDifferentExperience:
+    """The paper's §IV-C construction: same ATF, different speed index."""
+
+    def test_shapes(self):
+        body_text = "main content text that matters to readers. " * 30
+        page = parse_html(
+            '<div id="nav"><p>navigation links row</p></div>'
+            f'<div id="main"><p>{body_text}</p><p>{body_text}</p></div>'
+        )
+        nav_first = SelectorSchedule.from_pairs(
+            [("#nav", 2000), ("#main", 4000)], default_ms=2000
+        )
+        main_first = SelectorSchedule.from_pairs(
+            [("#nav", 4000), ("#main", 2000)], default_ms=2000
+        )
+        t_nav = build_paint_timeline(page, nav_first)
+        t_main = build_paint_timeline(page, main_first)
+        assert above_the_fold_time(t_nav) == above_the_fold_time(t_main) == 4000
+        # Main content covers more pixels, so revealing it early lowers SI.
+        assert speed_index(t_main) < speed_index(t_nav)

@@ -1,0 +1,66 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None, label="first")
+        second = queue.push(1.0, lambda: None, label="second")
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None)
+        survivor = queue.push(2.0, lambda: None)
+        doomed.cancel()
+        assert queue.pop() is survivor
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, lambda: None)
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None

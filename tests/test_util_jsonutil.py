@@ -1,0 +1,44 @@
+"""Tests for JSON helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util import jsonutil
+
+
+class TestCanonical:
+    def test_sorted_keys(self):
+        assert jsonutil.dumps_canonical({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_stable_across_calls(self):
+        value = {"x": [1, 2], "y": {"z": True}}
+        assert jsonutil.dumps_canonical(value) == jsonutil.dumps_canonical(value)
+
+
+class TestLoads:
+    def test_valid(self):
+        assert jsonutil.loads('{"a": 1}') == {"a": 1}
+
+    def test_invalid_wrapped(self):
+        with pytest.raises(ValidationError):
+            jsonutil.loads("{not json")
+
+
+class TestFiles:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        jsonutil.dump_file(path, {"k": [1, 2, 3]})
+        assert jsonutil.load_file(path) == {"k": [1, 2, 3]}
+
+    def test_pretty_has_trailing_newline(self, tmp_path):
+        path = tmp_path / "doc.json"
+        jsonutil.dump_file(path, {})
+        assert path.read_text().endswith("\n")
+
+
+class TestDeepCopy:
+    def test_no_aliasing(self):
+        original = {"nested": {"list": [1, 2]}}
+        copy = jsonutil.deep_copy_json(original)
+        copy["nested"]["list"].append(3)
+        assert original["nested"]["list"] == [1, 2]

@@ -1,0 +1,84 @@
+"""Tests for the deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    SeedSequenceFactory,
+    coerce_rng,
+    derive_random,
+    derive_rng,
+    spawn_seed,
+)
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(42, "alpha") == spawn_seed(42, "alpha")
+
+    def test_label_changes_seed(self):
+        assert spawn_seed(42, "alpha") != spawn_seed(42, "beta")
+
+    def test_root_changes_seed(self):
+        assert spawn_seed(1, "alpha") != spawn_seed(2, "alpha")
+
+    def test_fits_in_64_bits(self):
+        seed = spawn_seed(2**62, "big")
+        assert 0 <= seed < 2**64
+
+
+class TestDeriveRng:
+    def test_reproducible_streams(self):
+        a = derive_rng(7, "x").uniform(size=5)
+        b = derive_rng(7, "x").uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_streams(self):
+        a = derive_rng(7, "x").uniform(size=5)
+        b = derive_rng(7, "y").uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_derive_random_stdlib(self):
+        r1 = derive_random(7, "x")
+        r2 = derive_random(7, "x")
+        assert [r1.random() for _ in range(3)] == [r2.random() for _ in range(3)]
+
+
+class TestSeedSequenceFactory:
+    def test_same_label_twice_gives_fresh_stream(self):
+        factory = SeedSequenceFactory(11)
+        first = factory.rng("behavior").uniform(size=3)
+        second = factory.rng("behavior").uniform(size=3)
+        assert not np.allclose(first, second)
+
+    def test_two_factories_agree(self):
+        a = SeedSequenceFactory(11)
+        b = SeedSequenceFactory(11)
+        np.testing.assert_array_equal(
+            a.rng("j").uniform(size=3), b.rng("j").uniform(size=3)
+        )
+
+    def test_child_factory_differs_from_parent(self):
+        factory = SeedSequenceFactory(11)
+        child = factory.child("sub")
+        assert child.root_seed != factory.root_seed
+
+    def test_seed_method_counts_occurrences(self):
+        factory = SeedSequenceFactory(11)
+        assert factory.seed("s") != factory.seed("s")
+
+
+class TestCoerceRng:
+    def test_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert coerce_rng(generator) is generator
+
+    def test_seed_used_when_no_rng(self):
+        a = coerce_rng(None, 5).uniform()
+        b = coerce_rng(None, 5).uniform()
+        assert a == b
+
+    def test_defaults_to_zero_seed(self):
+        a = coerce_rng(None, None).uniform()
+        b = coerce_rng(None, 0).uniform()
+        assert a == b

@@ -1,0 +1,104 @@
+"""Tests for descriptive-statistics helpers."""
+
+import pytest
+
+from repro.util.statsutil import (
+    Cdf,
+    empirical_cdf,
+    histogram_percentages,
+    mean,
+    percentile,
+    stdev,
+)
+
+
+class TestMeanStdev:
+    def test_mean_basic(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_stdev_known_value(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_stdev_singleton_is_zero(self):
+        assert stdev([3.0]) == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestEmpiricalCdf:
+    def test_last_probability_is_one(self):
+        cdf = empirical_cdf([3, 1, 2])
+        assert cdf.ps[-1] == pytest.approx(1.0)
+
+    def test_duplicates_collapse(self):
+        cdf = empirical_cdf([1, 1, 2])
+        assert cdf.xs == (1, 2)
+        assert cdf.ps == (pytest.approx(2 / 3), pytest.approx(1.0))
+
+    def test_evaluate_step_function(self):
+        cdf = empirical_cdf([1, 2, 3, 4])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2) == pytest.approx(0.5)
+        assert cdf.evaluate(10) == pytest.approx(1.0)
+
+    def test_quantile_inverse(self):
+        cdf = empirical_cdf([10, 20, 30, 40])
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+
+    def test_quantile_out_of_range(self):
+        cdf = empirical_cdf([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_min_max(self):
+        cdf = empirical_cdf([5, -1, 3])
+        assert cdf.minimum == -1
+        assert cdf.maximum == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_series_aligned(self):
+        cdf = empirical_cdf([1, 2])
+        assert cdf.series() == [(1, 0.5), (2, 1.0)]
+
+    def test_misaligned_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf((1.0, 2.0), (0.5,))
+
+
+class TestHistogramPercentages:
+    def test_sums_to_100(self):
+        result = histogram_percentages(["a", "b"], [1, 3])
+        assert result == {"a": 25.0, "b": 75.0}
+
+    def test_zero_total(self):
+        assert histogram_percentages(["a"], [0]) == {"a": 0.0}
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            histogram_percentages(["a"], [1, 2])

@@ -1,0 +1,96 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.util.validation import (
+    require_in_range,
+    require_keys,
+    require_non_empty,
+    require_one_of,
+    require_positive,
+    require_type,
+)
+
+
+class TestRequireType:
+    def test_accepts_matching(self):
+        assert require_type("x", str, "f") == "x"
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError) as excinfo:
+            require_type(1, str, "name")
+        assert excinfo.value.field == "name"
+
+    def test_bool_rejected_where_int_expected(self):
+        with pytest.raises(ValidationError):
+            require_type(True, int, "count")
+
+    def test_bool_allowed_when_listed(self):
+        assert require_type(True, (int, bool), "flag") is True
+
+    def test_tuple_of_types(self):
+        assert require_type(1.5, (int, float), "n") == 1.5
+
+
+class TestRequireNonEmpty:
+    def test_accepts_non_empty(self):
+        assert require_non_empty([1], "xs") == [1]
+
+    def test_rejects_empty_string(self):
+        with pytest.raises(ValidationError):
+            require_non_empty("", "s")
+
+    def test_rejects_empty_dict(self):
+        with pytest.raises(ValidationError):
+            require_non_empty({}, "d")
+
+
+class TestRequirePositive:
+    def test_positive_ok(self):
+        assert require_positive(2, "n") == 2
+
+    def test_zero_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            require_positive(0, "n")
+
+    def test_zero_allowed_when_flagged(self):
+        assert require_positive(0, "n", allow_zero=True) == 0
+
+    def test_negative_always_rejected(self):
+        with pytest.raises(ValidationError):
+            require_positive(-1, "n", allow_zero=True)
+
+
+class TestRequireInRange:
+    def test_bounds_inclusive(self):
+        assert require_in_range(0, 0, 1, "x") == 0
+        assert require_in_range(1, 0, 1, "x") == 1
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValidationError):
+            require_in_range(1.01, 0, 1, "x")
+
+
+class TestRequireOneOf:
+    def test_member_ok(self):
+        assert require_one_of("a", ("a", "b"), "x") == "a"
+
+    def test_non_member_rejected(self):
+        with pytest.raises(ValidationError):
+            require_one_of("c", ("a", "b"), "x")
+
+
+class TestRequireKeys:
+    def test_all_present(self):
+        assert require_keys({"a": 1, "b": 2}, ("a", "b"), "doc") == {"a": 1, "b": 2}
+
+    def test_missing_listed_in_message(self):
+        with pytest.raises(ValidationError) as excinfo:
+            require_keys({"a": 1}, ("a", "b", "c"), "doc")
+        assert "b" in str(excinfo.value)
+        assert "c" in str(excinfo.value)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            require_keys([], ("a",), "doc")
