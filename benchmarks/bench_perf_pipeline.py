@@ -1,0 +1,203 @@
+"""Campaign fast-path benchmark: brute force vs indexed/cached/parallel.
+
+Runs the §IV-A font-size campaign (5 versions, C(5,2)=10 pairs, 100
+participants by default) end to end in two configurations:
+
+* **baseline** — every participant re-renders every downloaded page
+  (artifact cache disabled), the style cascade tests every rule against
+  every element (rule index disabled), and participants run sequentially
+  through the legacy single-stream path;
+* **optimized** — the shared :class:`~repro.render.artifacts.PageArtifactCache`
+  renders each stored page once per campaign, the cascade goes through the
+  :class:`~repro.html.cssom.RuleIndex`, and participants fan out across
+  worker threads on independent RNG substreams.
+
+Both configurations are also run at ``parallelism=1`` vs ``parallelism=N``
+to assert the deterministic-mode guarantee: the concluded result is
+bit-identical regardless of the parallelism level.
+
+Results land in ``BENCH_pipeline.json`` at the repo root — machine-readable
+wall-clock numbers plus the perf-registry counters behind them.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_pipeline.py \
+        [--participants 100] [--parallelism 4] [--output BENCH_pipeline.json]
+
+or as a pytest smoke check (small participant count)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_pipeline.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.campaign import Campaign, CampaignResult
+from repro.experiments.fontsize import (
+    MAIN_TEXT_SELECTOR,
+    QUESTION,
+    REWARD_USD,
+    FontSizeExperiment,
+    build_font_variants,
+    build_parameters,
+    wikipedia_resources_for,
+)
+from repro.render.artifacts import PageArtifactCache
+from repro.util.perf import PERF
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+DEFAULT_PARTICIPANTS = 100
+DEFAULT_PARALLELISM = 4
+SEED = 2019
+
+
+def _fresh_campaign(
+    participants: int, optimized: bool, seed: int = SEED
+) -> tuple:
+    """A prepared campaign plus its judge, in one of the two configurations."""
+    experiment = FontSizeExperiment(seed=seed)
+    campaign = Campaign(
+        seed=experiment.seeds.seed("crowd-campaign"),
+        artifact_cache=optimized,
+    )
+    if not optimized:
+        # Full brute force: re-render per visit *and* cascade without the
+        # rule index.
+        campaign.artifacts = PageArtifactCache(enabled=False, use_style_index=False)
+    documents = build_font_variants()
+    parameters = build_parameters(participants)
+    campaign.prepare(
+        parameters,
+        documents,
+        fetcher=wikipedia_resources_for(documents.keys()),
+        main_text_selector=MAIN_TEXT_SELECTOR,
+        instructions=QUESTION.text,
+    )
+    return campaign, experiment.make_personal_judge()
+
+
+def _run(
+    participants: int, optimized: bool, parallelism: Optional[int]
+) -> tuple:
+    """(result, wall_seconds, perf_snapshot) for one configuration."""
+    campaign, judge = _fresh_campaign(participants, optimized)
+    PERF.reset()
+    start = time.perf_counter()
+    result = campaign.run(judge, reward_usd=REWARD_USD, parallelism=parallelism)
+    elapsed = time.perf_counter() - start
+    return result, elapsed, PERF.snapshot()
+
+
+def _concluded_fingerprint(result: CampaignResult) -> List[dict]:
+    """Everything the conclusion depends on, as comparable plain data."""
+    return [r.as_dict() for r in result.raw_results]
+
+
+def run_pipeline_benchmark(
+    participants: int = DEFAULT_PARTICIPANTS,
+    parallelism: int = DEFAULT_PARALLELISM,
+) -> dict:
+    """Run both configurations and return the report dictionary."""
+    baseline_result, baseline_s, baseline_perf = _run(
+        participants, optimized=False, parallelism=None
+    )
+    optimized_result, optimized_s, optimized_perf = _run(
+        participants, optimized=True, parallelism=parallelism
+    )
+
+    # Determinism guarantee: the same seed concludes identically at every
+    # parallelism level.
+    serial_result, serial_s, _ = _run(participants, optimized=True, parallelism=1)
+    deterministic = _concluded_fingerprint(serial_result) == _concluded_fingerprint(
+        optimized_result
+    )
+
+    question_id = QUESTION.question_id
+    return {
+        "benchmark": "campaign_pipeline_fast_path",
+        "config": {
+            "versions": 5,
+            "comparison_pairs": 10,
+            "participants": participants,
+            "parallelism": parallelism,
+            "seed": SEED,
+        },
+        "baseline": {
+            "description": "uncached rendering, brute-force cascade, sequential",
+            "wall_seconds": round(baseline_s, 4),
+            "perf": baseline_perf,
+        },
+        "optimized": {
+            "description": (
+                "shared artifact cache, indexed cascade, "
+                f"{parallelism}-way parallel participants"
+            ),
+            "wall_seconds": round(optimized_s, 4),
+            "perf": optimized_perf,
+        },
+        "optimized_serial_wall_seconds": round(serial_s, 4),
+        "speedup": round(baseline_s / optimized_s, 2) if optimized_s else None,
+        "parallel_matches_sequential": deterministic,
+        "modal_best_version": (
+            optimized_result.controlled_analysis.rankings[question_id]
+            .modal_version_at_rank("A")
+        ),
+    }
+
+
+def write_report(report: dict, output: Path = DEFAULT_OUTPUT) -> Path:
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return output
+
+
+# -- pytest smoke check ------------------------------------------------------
+
+
+def test_pipeline_fast_path_smoke(report_writer):
+    """Small-scale run: fast path must win and stay deterministic."""
+    report = run_pipeline_benchmark(participants=20, parallelism=4)
+    write_report(report)
+    assert report["parallel_matches_sequential"]
+    assert report["speedup"] is not None and report["speedup"] > 1.0
+    artifacts = report["optimized"]["perf"]["counters"]
+    assert artifacts.get("artifacts.hits", 0) > artifacts.get("artifacts.misses", 0)
+    report_writer(
+        "perf_pipeline",
+        json.dumps(report, indent=2),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--participants", type=int, default=DEFAULT_PARTICIPANTS,
+        help="campaign size (paper scale: 100)",
+    )
+    parser.add_argument(
+        "--parallelism", type=int, default=DEFAULT_PARALLELISM,
+        help="worker threads for the optimized configuration",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run_pipeline_benchmark(args.participants, args.parallelism)
+    path = write_report(report, args.output)
+    print(json.dumps(report, indent=2))
+    print(f"\nreport written to {path}")
+    if not report["parallel_matches_sequential"]:
+        print("ERROR: parallel run diverged from sequential run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

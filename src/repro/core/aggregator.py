@@ -28,8 +28,8 @@ from repro.core.integrated import (
     CONTROL_IDENTICAL,
     ORIENTATION_MIRRORED,
     ORIENTATION_NORMAL,
+    IntegratedComposer,
     IntegratedWebpage,
-    integrated_page_html,
 )
 from repro.core.loadscript import inject_load_script
 from repro.core.parameters import TestParameters, WebpageSpec
@@ -41,6 +41,7 @@ from repro.html.mutations import set_font_size
 from repro.html.serializer import serialize
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
+from repro.util.perf import PERF
 
 TESTS_COLLECTION = "tests"
 INTEGRATED_COLLECTION = "integrated_webpages"
@@ -81,10 +82,21 @@ class PreparedTest:
         return [w.version_id for w in self.webpages]
 
     def webpage(self, version_id: str) -> TestWebpage:
-        for webpage in self.webpages:
-            if webpage.version_id == version_id:
-                return webpage
-        raise AggregationError(f"unknown version {version_id!r}")
+        """O(1) lookup by version id.
+
+        The composition step resolves both sides of every C(N,2) pair, so a
+        linear scan here is quadratic in the version count; the index is
+        rebuilt lazily whenever a lookup misses (the contrast-control version
+        is appended after the initial build).
+        """
+        index = self.__dict__.get("_version_index")
+        if index is None or version_id not in index:
+            index = {w.version_id: w for w in self.webpages}
+            self.__dict__["_version_index"] = index
+        try:
+            return index[version_id]
+        except KeyError:
+            raise AggregationError(f"unknown version {version_id!r}") from None
 
     def comparison_pairs(self) -> List[IntegratedWebpage]:
         """The real (non-control) integrated webpages, normal orientation."""
@@ -151,12 +163,17 @@ class Aggregator:
         if existing is not None:
             raise AggregationError(f"test {parameters.test_id!r} already prepared")
 
-        webpages = self._compress_webpages(parameters, documents, fetcher, base_url)
-        prepared = PreparedTest(parameters=parameters, webpages=webpages)
-        self._store_webpages(prepared)
-        self._generate_integrated(prepared, instructions, mirror_pairs)
-        self._generate_controls(prepared, main_text_selector, instructions)
-        self._store_records(prepared)
+        with PERF.timed("aggregator.prepare"):
+            webpages = self._compress_webpages(parameters, documents, fetcher, base_url)
+            prepared = PreparedTest(parameters=parameters, webpages=webpages)
+            self._store_webpages(prepared)
+            # One shared two-iframe template serves every composition below
+            # (pairs, mirrored orientations, controls): only the id and the
+            # frame srcs differ per page, so the skeleton is built once.
+            composer = IntegratedComposer(instructions=instructions)
+            self._generate_integrated(prepared, composer, mirror_pairs)
+            self._generate_controls(prepared, composer, main_text_selector)
+            self._store_records(prepared)
         return prepared
 
     # -- step 1+2: compress & inject ---------------------------------------
@@ -205,34 +222,34 @@ class Aggregator:
     # -- step 3: integrated pages -------------------------------------------
 
     def _generate_integrated(
-        self, prepared: PreparedTest, instructions: str, mirror_pairs: bool
+        self, prepared: PreparedTest, composer: IntegratedComposer, mirror_pairs: bool
     ) -> None:
         for index, (left_id, right_id) in enumerate(all_pairs(prepared.version_ids)):
             integrated_id = f"{prepared.test_id}-pair-{index:03d}"
             self._compose_and_store(
-                prepared, integrated_id, left_id, right_id, instructions
+                prepared, composer, integrated_id, left_id, right_id
             )
             if mirror_pairs:
                 self._compose_and_store(
                     prepared,
+                    composer,
                     f"{integrated_id}-m",
                     right_id,
                     left_id,
-                    instructions,
                     orientation=ORIENTATION_MIRRORED,
                 )
 
     def _generate_controls(
-        self, prepared: PreparedTest, main_text_selector: str, instructions: str
+        self, prepared: PreparedTest, composer: IntegratedComposer, main_text_selector: str
     ) -> None:
         # Identical pair: two copies of the first version.
         first = prepared.version_ids[0]
         self._compose_and_store(
             prepared,
+            composer,
             f"{prepared.test_id}-control-identical",
             first,
             first,
-            instructions,
             control_kind=CONTROL_IDENTICAL,
             expected_answer="same",
         )
@@ -258,10 +275,10 @@ class Aggregator:
         )
         self._compose_and_store(
             prepared,
+            composer,
             f"{prepared.test_id}-control-contrast",
             contrast_id,
             first,
-            instructions,
             control_kind=CONTROL_CONTRAST,
             expected_answer="right",
         )
@@ -269,21 +286,18 @@ class Aggregator:
     def _compose_and_store(
         self,
         prepared: PreparedTest,
+        composer: IntegratedComposer,
         integrated_id: str,
         left_id: str,
         right_id: str,
-        instructions: str,
         control_kind: str = "",
         expected_answer: str = "",
         orientation: str = ORIENTATION_NORMAL,
     ) -> IntegratedWebpage:
         left_path = prepared.webpage(left_id).storage_path
         right_path = prepared.webpage(right_id).storage_path
-        html = integrated_page_html(
-            integrated_id,
-            left_src=f"/{left_path}",
-            right_src=f"/{right_path}",
-            instructions=instructions,
+        html = composer.html_for(
+            integrated_id, f"/{left_path}", f"/{right_path}"
         )
         storage_path = f"{prepared.test_id}/integrated/{integrated_id}.html"
         self.storage.write(storage_path, html)

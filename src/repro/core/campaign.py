@@ -11,8 +11,9 @@ complete Kaleidoscope test — the unit the evaluation benchmarks drive.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,9 +31,11 @@ from repro.html.dom import Document
 from repro.net.http import Request
 from repro.net.profiles import PROFILES, NetworkProfile
 from repro.net.simnet import Client, SimulatedNetwork
+from repro.render.artifacts import PageArtifactCache
 from repro.sim.clock import SECONDS_PER_DAY, SimulationEnvironment
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
+from repro.util.perf import PERF
 from repro.util.rng import coerce_rng
 
 # Participants arrive on whatever access network they have; the replay
@@ -76,7 +79,14 @@ class Campaign:
         platform: Optional[CrowdPlatform] = None,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
+        artifact_cache: Optional[bool] = True,
     ):
+        """``artifact_cache`` controls participant-side page rendering:
+        ``True`` (default) renders each downloaded page through a shared
+        :class:`~repro.render.artifacts.PageArtifactCache` (parse/layout/
+        replay computed once per stored page); ``False`` still renders but
+        rebuilds per visit (the brute-force baseline the perf benchmark
+        measures against); ``None`` skips rendering entirely."""
         self.rng = coerce_rng(rng, seed)
         self.env = env if env is not None else SimulationEnvironment()
         self.network = network if network is not None else SimulatedNetwork(self.env)
@@ -93,6 +103,10 @@ class Campaign:
         )
         self.network.attach(self.server.http)
         self.prepared: Optional[PreparedTest] = None
+        if artifact_cache is None:
+            self.artifacts: Optional[PageArtifactCache] = None
+        else:
+            self.artifacts = PageArtifactCache(enabled=bool(artifact_cache))
 
     # -- step 1: aggregation -------------------------------------------------
 
@@ -131,8 +145,19 @@ class Campaign:
         quality_config: Optional[QualityConfig] = None,
         participants: Optional[int] = None,
         controls_per_participant: int = 1,
+        parallelism: Optional[int] = None,
     ) -> CampaignResult:
-        """Execute the campaign to completion and conclude the results."""
+        """Execute the campaign to completion and conclude the results.
+
+        ``parallelism=None`` (default) runs each participant inline as they
+        are recruited, drawing from the campaign's single RNG stream — the
+        historical behaviour. Any integer ``parallelism >= 1`` switches to
+        the deterministic fan-out mode: recruitment only collects the roster,
+        then every participant is simulated on an independent RNG substream
+        (``numpy.random.SeedSequence.spawn``) and uploaded in recruitment
+        order — so the concluded result is bit-identical for every
+        parallelism level, and levels > 1 run participants concurrently.
+        """
         prepared = self._require_prepared()
         needed = participants or prepared.parameters.participant_num
         post = self.network.exchange(
@@ -150,10 +175,21 @@ class Campaign:
         job = self.platform.get_job(post.json()["job_id"])
         start_time = self.env.now
 
-        def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
-            self._run_participant(worker, judge, controls_per_participant)
+        if parallelism is None:
+            def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+                self._run_participant(worker, judge, controls_per_participant)
 
-        self.platform.run_recruitment(job, on_recruit=on_recruit)
+            self.platform.run_recruitment(job, on_recruit=on_recruit)
+        else:
+            roster: List[WorkerProfile] = []
+
+            def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+                roster.append(worker)
+
+            self.platform.run_recruitment(job, on_recruit=on_recruit)
+            self._run_participants_deterministic(
+                roster, judge, controls_per_participant, parallelism=parallelism
+            )
         duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
         return self.conclude(
             job=job, duration_days=duration_days, quality_config=quality_config
@@ -232,15 +268,26 @@ class Campaign:
         quality_config: Optional[QualityConfig] = None,
         controls_per_participant: int = 1,
         in_lab: bool = False,
+        parallelism: Optional[int] = None,
     ) -> CampaignResult:
         """Run a fixed roster (the in-lab path, or unit-style driving).
 
         Skips platform recruitment; every worker performs the test back to
-        back on the virtual clock.
+        back on the virtual clock. ``parallelism=None`` keeps the historical
+        single-stream sequential behaviour; any integer ``parallelism >= 1``
+        gives each worker an independent RNG substream and (for levels > 1)
+        simulates them concurrently — the concluded result is identical for
+        every parallelism level at a fixed seed.
         """
         prepared = self._require_prepared()
-        for worker in workers:
-            self._run_participant(worker, judge, controls_per_participant, in_lab=in_lab)
+        if parallelism is None:
+            for worker in workers:
+                self._run_participant(worker, judge, controls_per_participant, in_lab=in_lab)
+        else:
+            self._run_participants_deterministic(
+                list(workers), judge, controls_per_participant,
+                parallelism=parallelism, in_lab=in_lab,
+            )
         return self.conclude(job=None, duration_days=0.0, quality_config=quality_config)
 
     def run_adaptive(
@@ -303,48 +350,165 @@ class Campaign:
         in_lab: bool = False,
         scheduler_factory=None,
     ) -> None:
-        prepared = self._require_prepared()
-        profile = self._sample_profile()
-        client = Client(self.network, profile)
-
-        def download(storage_path: str) -> str:
-            response = client.get(self.server.url(f"/resources/{storage_path}"))
-            return response.text if response.ok else ""
-
-        extension = BrowserExtension(
-            worker, judge, rng=self.rng, in_lab=in_lab, download=download
+        result, client = self._simulate_participant(
+            worker, judge, controls_per_participant, self.rng,
+            in_lab=in_lab, scheduler_factory=scheduler_factory,
         )
-        if scheduler_factory is None:
-            pages = self._pages_for_participant(prepared, controls_per_participant)
-            result = extension.run_test(
-                prepared.test_id, prepared.parameters.question, pages
+        self._upload_result(client, worker, result)
+
+    def _simulate_participant(
+        self,
+        worker: WorkerProfile,
+        judge: JudgeFunction,
+        controls_per_participant: int,
+        rng: np.random.Generator,
+        in_lab: bool = False,
+        scheduler_factory=None,
+    ) -> Tuple[ParticipantResult, Client]:
+        """One participant's full extension flow, minus the upload.
+
+        All randomness comes from ``rng``: with the campaign's shared stream
+        this reproduces the historical sequential behaviour; with an
+        independent substream the simulation is order-independent, which is
+        what makes the parallel mode deterministic.
+        """
+        prepared = self._require_prepared()
+        profile = self._sample_profile(rng)
+        client = Client(self.network, profile)
+        with PERF.timed("campaign.participant"):
+            extension = BrowserExtension(
+                worker, judge, rng=rng, in_lab=in_lab,
+                download=self._make_downloader(client),
+                artifacts=self.artifacts,
+                schedule_lookup=self._schedule_for_path,
             )
-        else:
-            version_ids = [
-                v for v in prepared.version_ids if v != "__contrast__"
-            ]
-            pages_by_pair = {
-                frozenset((p.left_version, p.right_version)): p
-                for p in prepared.comparison_pairs()
-            }
-            controls = list(prepared.control_pairs())
-            order = self.rng.permutation(len(controls))
-            chosen = [controls[i] for i in order[:controls_per_participant]]
-            result = extension.run_adaptive_test(
-                prepared.test_id,
-                prepared.parameters.question[0],
-                scheduler_factory(version_ids),
-                pages_by_pair,
-                control_pages=chosen,
-            )
+            if scheduler_factory is None:
+                pages = self._pages_for_participant(
+                    prepared, controls_per_participant, rng
+                )
+                result = extension.run_test(
+                    prepared.test_id, prepared.parameters.question, pages
+                )
+            else:
+                version_ids = [
+                    v for v in prepared.version_ids if v != "__contrast__"
+                ]
+                pages_by_pair = {
+                    frozenset((p.left_version, p.right_version)): p
+                    for p in prepared.comparison_pairs()
+                }
+                controls = list(prepared.control_pairs())
+                order = rng.permutation(len(controls))
+                chosen = [controls[i] for i in order[:controls_per_participant]]
+                result = extension.run_adaptive_test(
+                    prepared.test_id,
+                    prepared.parameters.question[0],
+                    scheduler_factory(version_ids),
+                    pages_by_pair,
+                    control_pages=chosen,
+                )
+        PERF.add("campaign.participants", 1)
+        return result, client
+
+    def _upload_result(
+        self, client: Client, worker: WorkerProfile, result: ParticipantResult
+    ) -> None:
         upload = client.post_json(self.server.url("/responses"), result.as_dict())
         if not upload.ok:
             raise CampaignError(
                 f"upload for {worker.worker_id} failed: {upload.text}"
             )
 
+    def _run_participants_deterministic(
+        self,
+        workers: Sequence[WorkerProfile],
+        judge: JudgeFunction,
+        controls_per_participant: int,
+        parallelism: int,
+        in_lab: bool = False,
+    ) -> None:
+        """Simulate a roster on independent RNG substreams, optionally in
+        parallel, and upload in roster order.
+
+        Each worker's stream comes from ``SeedSequence.spawn``, so no draw by
+        one participant can perturb another — results are identical whether
+        the roster runs serially or across ``parallelism`` threads. Uploads
+        happen from the calling thread in roster order, keeping the stored
+        response order (and hence analysis input order) deterministic.
+        """
+        if parallelism < 1:
+            raise CampaignError(f"parallelism must be >= 1, got {parallelism}")
+        self._prewarm_artifacts()
+        root = np.random.SeedSequence(int(self.rng.integers(0, 2**63)))
+        streams = [np.random.default_rng(s) for s in root.spawn(len(workers))]
+
+        def simulate(index: int) -> Tuple[ParticipantResult, Client]:
+            return self._simulate_participant(
+                workers[index], judge, controls_per_participant,
+                streams[index], in_lab=in_lab,
+            )
+
+        if parallelism == 1 or len(workers) <= 1:
+            outcomes = [simulate(i) for i in range(len(workers))]
+        else:
+            with PERF.timed("campaign.parallel_fanout"):
+                with ThreadPoolExecutor(max_workers=parallelism) as pool:
+                    outcomes = list(pool.map(simulate, range(len(workers))))
+        for worker, (result, client) in zip(workers, outcomes):
+            self._upload_result(client, worker, result)
+
+    def _make_downloader(self, client: Client):
+        def download(storage_path: str) -> str:
+            response = client.get(self.server.url(f"/resources/{storage_path}"))
+            return response.text if response.ok else ""
+
+        return download
+
+    def _prewarm_artifacts(self) -> None:
+        """Build every integrated page's artifacts once, ahead of a fan-out.
+
+        Without this, the first wave of parallel participants would race to
+        build the same cache entries (harmless but wasteful, and it makes the
+        network log order depend on thread timing). One warm pass over the
+        C(N,2)+controls pages makes every later lookup a pure cache hit.
+        """
+        if self.artifacts is None or not self.artifacts.enabled:
+            return
+        prepared = self._require_prepared()
+        client = Client(self.network, PROFILES["cable"])
+        download = self._make_downloader(client)
+        for page in prepared.integrated:
+            html = download(page.storage_path)
+            if html:
+                self.artifacts.get_or_build(
+                    page.storage_path, html,
+                    fetch=download, schedule_lookup=self._schedule_for_path,
+                )
+
+    def _schedule_for_path(self, storage_path: str):
+        """The replay schedule injected into a stored version page, or None.
+
+        Version pages live at ``<test_id>/versions/<version_id>.html``; the
+        schedule comes from the version's Table-I ``web_page_load`` spec.
+        Integrated pages (and anything unrecognized) have no schedule.
+        """
+        prepared = self.prepared
+        if prepared is None:
+            return None
+        head, _, filename = storage_path.rpartition("/")
+        if not head.endswith("/versions") or not filename.endswith(".html"):
+            return None
+        version_id = filename[: -len(".html")]
+        try:
+            return prepared.webpage(version_id).spec.schedule()
+        except Exception:
+            return None
+
     def _pages_for_participant(
-        self, prepared: PreparedTest, controls_per_participant: int
+        self,
+        prepared: PreparedTest,
+        controls_per_participant: int,
+        rng: np.random.Generator,
     ) -> List[IntegratedWebpage]:
         """Shuffled comparison pairs plus randomly-placed control pair(s).
 
@@ -357,17 +521,17 @@ class Campaign:
         if getattr(self, "_randomize_orientation", False):
             pages = [
                 page
-                if self.rng.uniform() < 0.5
+                if rng.uniform() < 0.5
                 else self._mirrored_of(prepared, page)
                 for page in pages
             ]
-        order = self.rng.permutation(len(pages))
+        order = rng.permutation(len(pages))
         pages = [pages[i] for i in order]
         controls = list(prepared.control_pairs())
-        control_order = self.rng.permutation(len(controls))
+        control_order = rng.permutation(len(controls))
         chosen = [controls[i] for i in control_order[:controls_per_participant]]
         for control in chosen:
-            position = int(self.rng.integers(0, len(pages) + 1))
+            position = int(rng.integers(0, len(pages) + 1))
             pages.insert(position, control)
         return pages
 
@@ -380,8 +544,9 @@ class Campaign:
                 return candidate
         return page  # no mirrored variant stored: fall back
 
-    def _sample_profile(self) -> NetworkProfile:
-        name = str(self.rng.choice(_PARTICIPANT_PROFILES, p=_PROFILE_WEIGHTS))
+    def _sample_profile(self, rng: Optional[np.random.Generator] = None) -> NetworkProfile:
+        generator = rng if rng is not None else self.rng
+        name = str(generator.choice(_PARTICIPANT_PROFILES, p=_PROFILE_WEIGHTS))
         return PROFILES[name]
 
     # -- step 4: conclusion ------------------------------------------------------

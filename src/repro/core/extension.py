@@ -129,14 +129,29 @@ class BrowserExtension:
         seed: Optional[int] = None,
         in_lab: bool = False,
         download=None,
+        artifacts=None,
+        schedule_lookup=None,
     ):
         """``download(storage_path) -> html`` fetches an integrated page from
-        the core server; None skips the network (judgment-only simulation)."""
+        the core server; None skips the network (judgment-only simulation).
+
+        ``artifacts`` is an optional
+        :class:`~repro.render.artifacts.PageArtifactCache`: when present,
+        every downloaded page is parsed/laid-out/replayed through it — the
+        participant genuinely "views" the page, but identical pages are
+        rendered once per campaign rather than once per participant.
+        ``schedule_lookup(storage_path)`` resolves a version page's injected
+        replay schedule for the reveal-time computation.
+        """
         self.worker = worker
         self.judge = judge
         self.rng = coerce_rng(rng, seed)
         self.in_lab = in_lab
         self.download = download
+        self.artifacts = artifacts
+        self.schedule_lookup = schedule_lookup
+        # storage_path -> PageArtifacts for every page this participant viewed.
+        self.viewed = {}
 
     def run_test(
         self,
@@ -213,6 +228,13 @@ class BrowserExtension:
                 raise ExtensionError(
                     f"could not download integrated page {page.integrated_id!r}"
                 )
+            if self.artifacts is not None:
+                self.viewed[page.storage_path] = self.artifacts.get_or_build(
+                    page.storage_path,
+                    html,
+                    fetch=self._fetch_resource,
+                    schedule_lookup=self.schedule_lookup,
+                )
         trace = sample_behavior(self.worker, rng=self.rng, in_lab=self.in_lab)
         # Participants "can revisit as many times as one wants"; distracted
         # workers revisit more.
@@ -232,6 +254,13 @@ class BrowserExtension:
                 )
             )
         result.total_minutes += trace.duration_minutes
+
+    def _fetch_resource(self, storage_path: str) -> str:
+        """Resolve an iframe ``src`` (a storage path) through the download
+        channel; used by the artifact cache to pull version pages on a miss."""
+        if self.download is None:
+            return ""
+        return self.download(storage_path)
 
     def _answer(self, page: IntegratedWebpage, question: Question) -> str:
         if page.control_kind == CONTROL_IDENTICAL:

@@ -153,6 +153,32 @@ def integrated_page_html(
     )
 
 
+class IntegratedComposer:
+    """Stamps out integrated pages from one shared template document.
+
+    The aggregator composes C(N,2) pairs plus controls (and as many again
+    when mirrored orientations are stored); only three attributes differ
+    between them — the integrated id and the two iframe ``src`` values — so
+    the skeleton DOM is built once and re-stamped per pair instead of being
+    reconstructed and re-traversed for every composition.
+    """
+
+    def __init__(self, instructions: str = "", title: str = "Kaleidoscope comparison"):
+        self._template = compose_integrated_page(
+            "", "", "", title=title, instructions=instructions
+        )
+        self._body = self._template.ensure_body()
+        self._left = self._template.get_element_by_id("kaleidoscope-left")
+        self._right = self._template.get_element_by_id("kaleidoscope-right")
+
+    def html_for(self, integrated_id: str, left_src: str, right_src: str) -> str:
+        """Serialized markup for one pair."""
+        self._body.set("data-integrated-id", integrated_id)
+        self._left.set("src", left_src)
+        self._right.set("src", right_src)
+        return serialize(self._template)
+
+
 def frame_sources(document: Document) -> Optional[tuple]:
     """Extract (left_src, right_src) from an integrated page, or None."""
     left = document.get_element_by_id("kaleidoscope-left")

@@ -178,9 +178,18 @@ class FontSizeExperiment:
         self,
         participants: int = CROWD_PARTICIPANTS,
         quality_config: Optional[QualityConfig] = None,
+        parallelism: Optional[int] = None,
+        artifact_cache: Optional[bool] = True,
     ) -> CampaignResult:
-        """The Kaleidoscope arm: FigureEight recruitment + extension flow."""
-        campaign = Campaign(seed=self.seeds.seed("crowd-campaign"))
+        """The Kaleidoscope arm: FigureEight recruitment + extension flow.
+
+        ``parallelism`` and ``artifact_cache`` pass straight through to
+        :class:`~repro.core.campaign.Campaign` — the perf benchmark drives
+        this arm in both its brute-force and fast-path configurations.
+        """
+        campaign = Campaign(
+            seed=self.seeds.seed("crowd-campaign"), artifact_cache=artifact_cache
+        )
         documents = build_font_variants()
         parameters = build_parameters(participants)
         fetcher = wikipedia_resources_for(documents.keys())
@@ -193,7 +202,10 @@ class FontSizeExperiment:
         )
         judge = self.make_personal_judge()
         return campaign.run(
-            judge, reward_usd=REWARD_USD, quality_config=quality_config
+            judge,
+            reward_usd=REWARD_USD,
+            quality_config=quality_config,
+            parallelism=parallelism,
         )
 
     def run_inlab(self, participants: int = INLAB_PARTICIPANTS) -> Tuple[CampaignResult, float]:

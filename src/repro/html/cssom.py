@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.html.dom import Document, Element
 from repro.html.selectors import Selector, compile_selector_list
+from repro.util.perf import PERF
 
 # Properties whose computed value transfers from parent to child.
 INHERITED_PROPERTIES = frozenset(
@@ -206,10 +207,80 @@ def parse_length(
     return None
 
 
-class StyleResolver:
-    """Computes the cascaded + inherited style of elements in a document."""
+class RuleIndex:
+    """Browser-style rule buckets keyed on the rightmost compound selector.
 
-    def __init__(self, document: Document, user_agent_sheet: Optional[Stylesheet] = None):
+    A brute-force cascade tests every selector of every rule against every
+    element — O(rules x elements) with most tests failing trivially. Real
+    engines bucket each selector by the most selective simple selector of its
+    *rightmost* compound (id beats class beats tag beats universal): an
+    element can only match a selector whose rightmost compound names one of
+    the element's own id/classes/tag, so the cascade only runs the full match
+    on those candidates.
+    """
+
+    __slots__ = ("by_id", "by_class", "by_tag", "universal")
+
+    def __init__(self, rules: List[Rule]):
+        # Buckets hold (rule, selector, specificity) triples; specificity is
+        # precomputed so the cascade never re-derives it per element.
+        self.by_id: Dict[str, list] = {}
+        self.by_class: Dict[str, list] = {}
+        self.by_tag: Dict[str, list] = {}
+        self.universal: list = []
+        for rule in rules:
+            for selector in rule.selectors:
+                entry = (rule, selector, selector.specificity())
+                self._bucket_for(selector).append(entry)
+
+    def _bucket_for(self, selector: Selector) -> list:
+        rightmost = selector.compounds[-1]
+        for part in rightmost.parts:
+            if part.kind == "id":
+                return self.by_id.setdefault(part.value, [])
+        for part in rightmost.parts:
+            if part.kind == "class":
+                return self.by_class.setdefault(part.value, [])
+        for part in rightmost.parts:
+            if part.kind == "tag" and part.value != "*":
+                return self.by_tag.setdefault(part.value, [])
+        return self.universal
+
+    def candidates(self, element: Element):
+        """Yield the (rule, selector, specificity) entries that could match
+        ``element``. Each entry appears at most once: a selector lives in
+        exactly one bucket, and each of the element's keys is distinct."""
+        element_id = element.id
+        if element_id:
+            bucket = self.by_id.get(element_id)
+            if bucket:
+                yield from bucket
+        if self.by_class:
+            for name in element.classes:
+                bucket = self.by_class.get(name)
+                if bucket:
+                    yield from bucket
+        bucket = self.by_tag.get(element.tag)
+        if bucket:
+            yield from bucket
+        yield from self.universal
+
+
+class StyleResolver:
+    """Computes the cascaded + inherited style of elements in a document.
+
+    ``use_index=True`` (the default) routes the cascade through a
+    :class:`RuleIndex`; ``use_index=False`` keeps the brute-force
+    rule-by-rule scan as a reference implementation — the two are asserted
+    equivalent by the property tests in ``tests/test_html_cssom.py``.
+    """
+
+    def __init__(
+        self,
+        document: Document,
+        user_agent_sheet: Optional[Stylesheet] = None,
+        use_index: bool = True,
+    ):
         self.document = document
         self.sheet = Stylesheet()
         if user_agent_sheet is not None:
@@ -220,7 +291,13 @@ class StyleResolver:
                     Rule(rule.selectors, rule.declarations, -len(user_agent_sheet.rules) + offset)
                 )
         self.sheet.extend(collect_document_styles(document))
-        self._cache: Dict[int, Dict[str, str]] = {}
+        self.use_index = use_index
+        self._index: Optional[RuleIndex] = RuleIndex(self.sheet.rules) if use_index else None
+        # Keyed on the node itself (identity hash), not id(node): id() values
+        # are reused once an element is garbage-collected, which would let a
+        # dead element's style leak onto an unrelated new one. Holding the
+        # node as the key both prevents the reuse and keeps lookups O(1).
+        self._cache: Dict[Element, Dict[str, str]] = {}
 
     def _cascaded(self, element: Element) -> Dict[str, str]:
         """Declared values after the cascade, before inheritance."""
@@ -232,19 +309,46 @@ class StyleResolver:
             if existing is None or (key, order) >= (existing[0], existing[1]):
                 weighted[prop] = (key, order, value)
 
-        for rule in self.sheet.rules:
-            matched = [s for s in rule.selectors if s.matches(element)]
-            if not matched:
-                continue
-            best = max(s.specificity() for s in matched)
-            for declaration in rule.declarations:
-                consider(
-                    declaration.prop,
-                    declaration.value,
-                    declaration.important,
-                    best,
-                    rule.source_order,
-                )
+        if self._index is not None:
+            # Indexed path: only candidate rules are match-tested. For a rule
+            # with several matching selectors the best specificity wins, as
+            # in the brute-force path. Processing order across rules cannot
+            # change the outcome: ``consider`` totally orders declarations by
+            # (importance, specificity, source order).
+            best_by_rule: Dict[int, Tuple[Rule, Tuple[int, int, int]]] = {}
+            candidates = 0
+            for rule, selector, specificity in self._index.candidates(element):
+                candidates += 1
+                if not selector.matches(element):
+                    continue
+                current = best_by_rule.get(id(rule))
+                if current is None or specificity > current[1]:
+                    best_by_rule[id(rule)] = (rule, specificity)
+            PERF.add("cascade.candidates_tested", candidates)
+            for rule, best in best_by_rule.values():
+                for declaration in rule.declarations:
+                    consider(
+                        declaration.prop,
+                        declaration.value,
+                        declaration.important,
+                        best,
+                        rule.source_order,
+                    )
+        else:
+            PERF.add("cascade.candidates_tested", len(self.sheet.rules))
+            for rule in self.sheet.rules:
+                matched = [s for s in rule.selectors if s.matches(element)]
+                if not matched:
+                    continue
+                best = max(s.specificity() for s in matched)
+                for declaration in rule.declarations:
+                    consider(
+                        declaration.prop,
+                        declaration.value,
+                        declaration.important,
+                        best,
+                        rule.source_order,
+                    )
         # Inline style outranks any sheet specificity.
         for prop, value in element.style_declarations().items():
             weighted[prop] = (((2, 0, 0, 0)), 1 << 30, value)
@@ -256,9 +360,10 @@ class StyleResolver:
         ``font-size`` is additionally resolved to a pixel string so relative
         units compose correctly down the tree.
         """
-        cache_key = id(element)
-        if cache_key in self._cache:
-            return self._cache[cache_key]
+        cached = self._cache.get(element)
+        if cached is not None:
+            return cached
+        PERF.add("cascade.elements", 1)
         parent_style: Dict[str, str] = {}
         if element.parent is not None:
             parent_style = self.computed_style(element.parent)
@@ -280,7 +385,7 @@ class StyleResolver:
             else:
                 style[prop] = value
         style.setdefault("font-size", f"{parent_font_px}px")
-        self._cache[cache_key] = style
+        self._cache[element] = style
         return style
 
     def font_size_px(self, element: Element) -> float:

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Tuple
+
+# Compiled selectors are immutable after construction, so compile results can
+# be shared freely between stylesheets, replay schedules and query calls.
+_COMPILE_CACHE_SIZE = 4096
 
 from repro.errors import SelectorError
 from repro.html.dom import Document, Element
@@ -123,7 +128,14 @@ class Selector:
     source: str = ""
 
     def specificity(self) -> Tuple[int, int, int]:
-        """CSS specificity: (#ids, #classes+attrs+pseudos, #tags)."""
+        """CSS specificity: (#ids, #classes+attrs+pseudos, #tags).
+
+        Memoized: the cascade asks for specificity once per matched rule per
+        element, but a selector's specificity never changes after compile.
+        """
+        cached = self.__dict__.get("_specificity")
+        if cached is not None:
+            return cached
         a = b = c = 0
 
         def count(parts):
@@ -141,6 +153,7 @@ class Selector:
 
         for compound in self.compounds:
             count(compound.parts)
+        self.__dict__["_specificity"] = (a, b, c)
         return (a, b, c)
 
     def matches(self, element: Element) -> bool:
@@ -213,8 +226,14 @@ def _parse_compound(text: str) -> Compound:
     return Compound(parts)
 
 
+@lru_cache(maxsize=_COMPILE_CACHE_SIZE)
 def compile_selector(text: str) -> Selector:
-    """Compile one complex selector (no commas)."""
+    """Compile one complex selector (no commas).
+
+    Results are cached by source text: callers (the cascade, replay
+    schedules, repeated ``query_selector_all`` calls) must treat the
+    returned selector as immutable — all of :mod:`repro` does.
+    """
     source = text.strip()
     if not source:
         raise SelectorError("empty selector")
@@ -275,12 +294,25 @@ def _split_selector(source: str) -> List[str]:
     return tokens
 
 
-def compile_selector_list(text: str) -> List[Selector]:
-    """Compile a comma-separated selector list."""
-    selectors = [compile_selector(part) for part in text.split(",") if part.strip()]
+@lru_cache(maxsize=_COMPILE_CACHE_SIZE)
+def _compile_selector_tuple(text: str) -> Tuple[Selector, ...]:
+    selectors = tuple(
+        compile_selector(part) for part in text.split(",") if part.strip()
+    )
     if not selectors:
         raise SelectorError(f"empty selector list: {text!r}")
     return selectors
+
+
+def compile_selector_list(text: str) -> List[Selector]:
+    """Compile a comma-separated selector list.
+
+    Backed by an LRU cache keyed on the source text — stylesheet parsing and
+    replay-schedule execution compile the same handful of selector strings
+    thousands of times per campaign. A fresh list is returned on each call so
+    callers may extend it, but the selectors themselves are shared.
+    """
+    return list(_compile_selector_tuple(text))
 
 
 def matches(element: Element, selector_text: str) -> bool:

@@ -10,6 +10,7 @@ longer to download an integrated webpage than one on "fiber".
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -51,6 +52,11 @@ class SimulatedNetwork:
         self._hosts: Dict[str, HttpServer] = {}
         self.log: List[ExchangeRecord] = []
         self.stats = TrafficStats()
+        # Exchanges mutate the log, the stats and the virtual clock; the
+        # campaign's parallel participant mode issues them from worker
+        # threads, so one exchange must complete atomically. Compute between
+        # exchanges (judgment, rendering) still runs concurrently.
+        self._lock = threading.RLock()
 
     # -- topology ---------------------------------------------------------
 
@@ -84,33 +90,34 @@ class SimulatedNetwork:
         """
         profile = profile or get_profile("cable")
         host = request.host
-        server = self._hosts.get(host)
-        if server is None:
-            self.stats.errors += 1
-            raise NetworkError(f"no route to host {host!r}")
-        response = server.handle(request)
-        elapsed = profile.request_seconds(request.size_bytes, response.size_bytes)
-        now = self.env.now if self.env is not None else 0.0
-        self.log.append(
-            ExchangeRecord(
-                time=now,
-                host=host,
-                method=request.method,
-                path=request.path,
-                status=response.status,
-                elapsed_seconds=elapsed,
-                request_bytes=request.size_bytes,
-                response_bytes=response.size_bytes,
+        with self._lock:
+            server = self._hosts.get(host)
+            if server is None:
+                self.stats.errors += 1
+                raise NetworkError(f"no route to host {host!r}")
+            response = server.handle(request)
+            elapsed = profile.request_seconds(request.size_bytes, response.size_bytes)
+            now = self.env.now if self.env is not None else 0.0
+            self.log.append(
+                ExchangeRecord(
+                    time=now,
+                    host=host,
+                    method=request.method,
+                    path=request.path,
+                    status=response.status,
+                    elapsed_seconds=elapsed,
+                    request_bytes=request.size_bytes,
+                    response_bytes=response.size_bytes,
+                )
             )
-        )
-        self.stats.requests += 1
-        self.stats.bytes_up += request.size_bytes
-        self.stats.bytes_down += response.size_bytes
-        if not response.ok:
-            self.stats.errors += 1
-        if self.env is not None:
-            self.env.schedule_in(elapsed, lambda: None, label="net-transfer")
-            self.env.run(until=self.env.now + elapsed)
+            self.stats.requests += 1
+            self.stats.bytes_up += request.size_bytes
+            self.stats.bytes_down += response.size_bytes
+            if not response.ok:
+                self.stats.errors += 1
+            if self.env is not None:
+                self.env.schedule_in(elapsed, lambda: None, label="net-transfer")
+                self.env.run(until=self.env.now + elapsed)
         return response, elapsed
 
     def get(self, url: str, profile: Optional[NetworkProfile] = None) -> Response:

@@ -8,6 +8,7 @@ timeline, and derives the metrics from that timeline — the Python equivalent
 of the JavaScript function Kaleidoscope injects into test webpages.
 """
 
+from repro.render.artifacts import PageArtifactCache, PageArtifacts
 from repro.render.box import Box, Viewport
 from repro.render.layout import LayoutEngine, LayoutResult
 from repro.render.replay import (
@@ -24,6 +25,8 @@ __all__ = [
     "Filmstrip",
     "Frame",
     "build_filmstrip",
+    "PageArtifactCache",
+    "PageArtifacts",
     "Box",
     "Viewport",
     "LayoutEngine",

@@ -30,6 +30,7 @@ from repro.errors import LayoutError
 from repro.html.cssom import StyleResolver, parse_length
 from repro.html.dom import Document, Element, Text
 from repro.render.box import Box, Viewport, DEFAULT_VIEWPORT
+from repro.util.perf import PERF
 
 # Tags that never generate boxes.
 NON_RENDERED_TAGS = frozenset(
@@ -100,21 +101,26 @@ class LayoutResult:
 class LayoutEngine:
     """Computes a :class:`LayoutResult` for a document."""
 
-    def __init__(self, viewport: Viewport = DEFAULT_VIEWPORT):
+    def __init__(self, viewport: Viewport = DEFAULT_VIEWPORT, use_style_index: bool = True):
+        """``use_style_index=False`` resolves styles through the brute-force
+        every-rule cascade instead of the rule index (benchmark baseline)."""
         self.viewport = viewport
+        self.use_style_index = use_style_index
 
     def layout(self, document: Document) -> LayoutResult:
         """Lay out ``document`` and return the element geometry."""
         body = document.body
         if body is None:
             raise LayoutError("document has no <body> to lay out")
-        resolver = StyleResolver(document)
-        result = LayoutResult(viewport=self.viewport)
-        content_width = self.viewport.width
-        height = self._layout_block(body, 0.0, 0.0, content_width, resolver, result)
-        result.page_height = height
-        result.boxes[id(body)] = Box(0.0, 0.0, content_width, height)
-        result.elements[id(body)] = body
+        with PERF.timed("layout.pass"):
+            resolver = StyleResolver(document, use_index=self.use_style_index)
+            result = LayoutResult(viewport=self.viewport)
+            content_width = self.viewport.width
+            height = self._layout_block(body, 0.0, 0.0, content_width, resolver, result)
+            result.page_height = height
+            result.boxes[id(body)] = Box(0.0, 0.0, content_width, height)
+            result.elements[id(body)] = body
+        PERF.add("layout.boxes", len(result.boxes))
         return result
 
     # -- internals ----------------------------------------------------------
