@@ -12,6 +12,13 @@ participants by default) end to end in two configurations:
   :class:`~repro.html.cssom.RuleIndex`, and participants fan out across
   worker threads on independent RNG substreams.
 
+A third **lossy-network** scenario reruns the optimized configuration under
+a seeded :class:`~repro.net.faults.FaultPlan` (drops, timeouts, injected
+5xx, latency spikes) with client retries and participant dropout, reporting
+retry counts, the abandonment rate and the degraded conclusion's coverage —
+and asserting the faulted run still reproduces bit-identically across
+parallelism levels.
+
 Both configurations are also run at ``parallelism=1`` vs ``parallelism=N``
 to assert the deterministic-mode guarantee: the concluded result is
 bit-identical regardless of the parallelism level.
@@ -47,6 +54,7 @@ from repro.experiments.fontsize import (
     build_parameters,
     wikipedia_resources_for,
 )
+from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.render.artifacts import PageArtifactCache
 from repro.util.perf import PERF
 
@@ -100,6 +108,90 @@ def _concluded_fingerprint(result: CampaignResult) -> List[dict]:
     return [r.as_dict() for r in result.raw_results]
 
 
+def _run_lossy(
+    participants: int, parallelism: Optional[int]
+) -> tuple:
+    """One lossy-network campaign: seeded faults, retries, dropout."""
+    experiment = FontSizeExperiment(seed=SEED)
+    campaign = Campaign(
+        seed=experiment.seeds.seed("crowd-campaign"),
+        fault_plan=FaultPlan.lossy(
+            seed=SEED,
+            drop_rate=0.05,
+            timeout_rate=0.02,
+            error_rate=0.02,
+            latency_rate=0.05,
+        ),
+        retry_policy=RetryPolicy(max_attempts=4, backoff_base_seconds=0.5),
+        breaker_config=CircuitBreakerConfig(failure_threshold=6),
+        dropout_rate=0.03,
+    )
+    documents = build_font_variants()
+    campaign.prepare(
+        build_parameters(participants),
+        documents,
+        fetcher=wikipedia_resources_for(documents.keys()),
+        main_text_selector=MAIN_TEXT_SELECTOR,
+        instructions=QUESTION.text,
+    )
+    PERF.reset()
+    start = time.perf_counter()
+    result = campaign.run(
+        experiment.make_personal_judge(),
+        reward_usd=REWARD_USD,
+        parallelism=parallelism,
+    )
+    elapsed = time.perf_counter() - start
+    return campaign, result, elapsed, PERF.snapshot()
+
+
+def run_lossy_benchmark(
+    participants: int = DEFAULT_PARTICIPANTS,
+    parallelism: int = DEFAULT_PARALLELISM,
+) -> dict:
+    """The resilience scenario: a 5%-drop lossy network with retries.
+
+    Reports how much the faults cost (retries, abandonment, lost uploads)
+    and what the degraded conclusion still covered — and asserts the lossy
+    run reproduces bit-identically across parallelism levels.
+    """
+    campaign, result, elapsed, perf = _run_lossy(participants, parallelism)
+    serial_campaign, serial_result, _, _ = _run_lossy(participants, 1)
+    deterministic = (
+        _concluded_fingerprint(result) == _concluded_fingerprint(serial_result)
+        and campaign.lost_uploads == serial_campaign.lost_uploads
+    )
+    counters = perf.get("counters", {})
+    stats = campaign.network.stats
+    degraded = result.degraded.as_dict() if result.degraded else None
+    abandoned = sum(1 for r in result.raw_results if r.abandoned)
+    return {
+        "description": (
+            "5% drops + 2% timeouts + 2% 5xx + 5% latency spikes, "
+            "4-attempt retries, 3% base dropout"
+        ),
+        "wall_seconds": round(elapsed, 4),
+        "retries": counters.get("net.retries", 0),
+        "faults_injected": stats.faults_injected,
+        "fault_breakdown": {
+            "drops": stats.drops,
+            "timeouts": stats.timeouts,
+            "injected_5xx": stats.injected_errors,
+            "latency_spikes": stats.latency_spikes,
+        },
+        "participants_uploaded": len(result.raw_results),
+        "abandoned": abandoned,
+        "abandonment_rate": (
+            round(abandoned / len(result.raw_results), 4)
+            if result.raw_results
+            else None
+        ),
+        "lost_uploads": len(campaign.lost_uploads),
+        "degraded_conclusion": degraded,
+        "parallel_matches_sequential": deterministic,
+    }
+
+
 def run_pipeline_benchmark(
     participants: int = DEFAULT_PARTICIPANTS,
     parallelism: int = DEFAULT_PARALLELISM,
@@ -149,6 +241,7 @@ def run_pipeline_benchmark(
             optimized_result.controlled_analysis.rankings[question_id]
             .modal_version_at_rank("A")
         ),
+        "lossy_network": run_lossy_benchmark(participants, parallelism),
     }
 
 
@@ -168,6 +261,11 @@ def test_pipeline_fast_path_smoke(report_writer):
     assert report["speedup"] is not None and report["speedup"] > 1.0
     artifacts = report["optimized"]["perf"]["counters"]
     assert artifacts.get("artifacts.hits", 0) > artifacts.get("artifacts.misses", 0)
+    lossy = report["lossy_network"]
+    assert lossy["parallel_matches_sequential"]
+    assert lossy["faults_injected"] > 0
+    assert lossy["retries"] > 0
+    assert lossy["participants_uploaded"] > 0
     report_writer(
         "perf_pipeline",
         json.dumps(report, indent=2),

@@ -313,6 +313,21 @@ class AnalysisBundle:
     behavior: Optional[BehaviorCdfs]
     participants: int
 
+    def answer_coverage(self) -> Dict[Tuple[str, str, str], int]:
+        """Decided answers per (question, left, right) cell.
+
+        A fully-covered campaign has every cell at the participant count; a
+        degraded one (abandonment, lost uploads) shows which pairs went
+        under-sampled — the per-pair coverage a
+        :class:`~repro.core.campaign.DegradedConclusion` reports.
+        """
+        return {key: tally.total for key, tally in self.tallies.items()}
+
+    def min_coverage(self) -> int:
+        """The worst-sampled cell's answer count (0 for an empty bundle)."""
+        coverage = self.answer_coverage()
+        return min(coverage.values()) if coverage else 0
+
 
 def analyze_responses(
     results: Sequence[ParticipantResult],

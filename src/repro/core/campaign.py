@@ -26,8 +26,9 @@ from repro.core.quality import QualityConfig, QualityControl, QualityReport
 from repro.core.server import CoreServer
 from repro.crowd.platform import CrowdJob, CrowdPlatform
 from repro.crowd.workers import WorkerProfile
-from repro.errors import CampaignError
+from repro.errors import CampaignError, NetworkError, ParticipantAbandoned
 from repro.html.dom import Document
+from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.net.http import Request
 from repro.net.profiles import PROFILES, NetworkProfile
 from repro.net.simnet import Client, SimulatedNetwork
@@ -46,6 +47,65 @@ _PROFILE_WEIGHTS = (0.25, 0.30, 0.15, 0.20, 0.10)
 
 
 @dataclass
+class DegradedConclusion:
+    """What a campaign that lost participants still managed to measure.
+
+    Attached to a :class:`CampaignResult` whenever participants abandoned,
+    uploads were lost, or conclusion floors were requested. ``pair_coverage``
+    maps every (question, left, right) cell to the number of decided answers
+    it received; ``coverage_fraction`` is the achieved share of the answers a
+    fully-retained roster would have produced.
+    """
+
+    recruited: int
+    uploaded: int
+    complete: int
+    abandoned: int
+    lost_uploads: List[Tuple[str, str]]  # (worker_id, reason)
+    expected_answers: int
+    pair_coverage: Dict[Tuple[str, str, str], int]
+    min_pair_coverage: int
+    coverage_fraction: float
+    min_participants: Optional[int] = None
+    quorum: Optional[float] = None
+
+    @property
+    def lost(self) -> int:
+        return len(self.lost_uploads)
+
+    @property
+    def completion_fraction(self) -> float:
+        return self.complete / self.recruited if self.recruited else 0.0
+
+    @property
+    def quorum_met(self) -> bool:
+        """True when the requested conclusion floors (if any) are satisfied."""
+        if self.min_participants is not None and self.complete < self.min_participants:
+            return False
+        if self.quorum is not None and self.completion_fraction < self.quorum:
+            return False
+        return True
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (benchmark reports, logs)."""
+        return {
+            "recruited": self.recruited,
+            "uploaded": self.uploaded,
+            "complete": self.complete,
+            "abandoned": self.abandoned,
+            "lost_uploads": [list(item) for item in self.lost_uploads],
+            "expected_answers": self.expected_answers,
+            "pair_coverage": {
+                "/".join(key): count for key, count in sorted(self.pair_coverage.items())
+            },
+            "min_pair_coverage": self.min_pair_coverage,
+            "coverage_fraction": round(self.coverage_fraction, 4),
+            "completion_fraction": round(self.completion_fraction, 4),
+            "quorum_met": self.quorum_met,
+        }
+
+
+@dataclass
 class CampaignResult:
     """Everything one finished campaign produced."""
 
@@ -57,6 +117,7 @@ class CampaignResult:
     job: Optional[CrowdJob]
     duration_days: float
     total_cost_usd: float
+    degraded: Optional[DegradedConclusion] = None
 
     @property
     def controlled_results(self) -> List[ParticipantResult]:
@@ -65,6 +126,15 @@ class CampaignResult:
     @property
     def participants(self) -> int:
         return len(self.raw_results)
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when the campaign concluded on partial data."""
+        return self.degraded is not None and (
+            self.degraded.abandoned > 0
+            or self.degraded.lost > 0
+            or self.degraded.complete < self.degraded.recruited
+        )
 
 
 class Campaign:
@@ -80,16 +150,36 @@ class Campaign:
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         artifact_cache: Optional[bool] = True,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_config: Optional[CircuitBreakerConfig] = None,
+        dropout_rate: float = 0.0,
     ):
         """``artifact_cache`` controls participant-side page rendering:
         ``True`` (default) renders each downloaded page through a shared
         :class:`~repro.render.artifacts.PageArtifactCache` (parse/layout/
         replay computed once per stored page); ``False`` still renders but
         rebuilds per visit (the brute-force baseline the perf benchmark
-        measures against); ``None`` skips rendering entirely."""
+        measures against); ``None`` skips rendering entirely.
+
+        The resilience knobs default off — with none of them set the campaign
+        is bit-identical to the fault-free pipeline. ``fault_plan`` injects
+        seeded network faults; ``retry_policy`` / ``breaker_config`` make
+        participant clients retry and trip circuits; ``dropout_rate`` lets
+        workers walk away mid-test. Any of them switches the campaign into
+        graceful-degradation mode: abandoned participants upload partial
+        results, failed uploads are recorded as losses instead of aborting
+        the run, and :meth:`conclude` reports a :class:`DegradedConclusion`.
+        """
         self.rng = coerce_rng(rng, seed)
         self.env = env if env is not None else SimulationEnvironment()
-        self.network = network if network is not None else SimulatedNetwork(self.env)
+        self.network = (
+            network
+            if network is not None
+            else SimulatedNetwork(self.env, fault_plan=fault_plan)
+        )
+        if network is not None and fault_plan is not None:
+            self.network.faults = fault_plan
         self.database = database if database is not None else DocumentStore()
         self.storage = storage if storage is not None else FileStore()
         self.platform = (
@@ -107,6 +197,20 @@ class Campaign:
             self.artifacts: Optional[PageArtifactCache] = None
         else:
             self.artifacts = PageArtifactCache(enabled=bool(artifact_cache))
+        self.retry_policy = retry_policy
+        self.breaker_config = breaker_config
+        self.dropout_rate = float(dropout_rate)
+        self._resilient = (
+            (fault_plan is not None and not fault_plan.is_none)
+            or retry_policy is not None
+            or self.dropout_rate > 0.0
+        )
+        # (worker_id, reason) for every participant whose upload never landed.
+        self.lost_uploads: List[Tuple[str, str]] = []
+        # Entropy of the last deterministic fan-out: re-running with the same
+        # value (and the same roster) resumes a crashed campaign on identical
+        # RNG substreams, skipping participants whose uploads are stored.
+        self.last_root_entropy: Optional[int] = None
 
     # -- step 1: aggregation -------------------------------------------------
 
@@ -146,6 +250,8 @@ class Campaign:
         participants: Optional[int] = None,
         controls_per_participant: int = 1,
         parallelism: Optional[int] = None,
+        min_participants: Optional[int] = None,
+        quorum: Optional[float] = None,
     ) -> CampaignResult:
         """Execute the campaign to completion and conclude the results.
 
@@ -157,6 +263,11 @@ class Campaign:
         (``numpy.random.SeedSequence.spawn``) and uploaded in recruitment
         order — so the concluded result is bit-identical for every
         parallelism level, and levels > 1 run participants concurrently.
+
+        ``min_participants`` / ``quorum`` are conclusion floors: when the
+        surviving complete participants fall below the absolute count or the
+        fraction of the recruited roster, :meth:`conclude` raises instead of
+        silently reporting on too little data.
         """
         prepared = self._require_prepared()
         needed = participants or prepared.parameters.participant_num
@@ -192,7 +303,8 @@ class Campaign:
             )
         duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
         return self.conclude(
-            job=job, duration_days=duration_days, quality_config=quality_config
+            job=job, duration_days=duration_days, quality_config=quality_config,
+            min_participants=min_participants, quorum=quorum,
         )
 
     def run_until_significant(
@@ -269,6 +381,9 @@ class Campaign:
         controls_per_participant: int = 1,
         in_lab: bool = False,
         parallelism: Optional[int] = None,
+        min_participants: Optional[int] = None,
+        quorum: Optional[float] = None,
+        root_entropy: Optional[int] = None,
     ) -> CampaignResult:
         """Run a fixed roster (the in-lab path, or unit-style driving).
 
@@ -278,6 +393,11 @@ class Campaign:
         gives each worker an independent RNG substream and (for levels > 1)
         simulates them concurrently — the concluded result is identical for
         every parallelism level at a fixed seed.
+
+        ``root_entropy`` (fan-out mode only) replays a previous fan-out's
+        RNG substreams — pass a crashed campaign's ``last_root_entropy`` to
+        resume it: workers whose uploads are already stored are skipped, the
+        rest re-simulate on exactly the streams they would have had.
         """
         prepared = self._require_prepared()
         if parallelism is None:
@@ -287,8 +407,12 @@ class Campaign:
             self._run_participants_deterministic(
                 list(workers), judge, controls_per_participant,
                 parallelism=parallelism, in_lab=in_lab,
+                root_entropy=root_entropy,
             )
-        return self.conclude(job=None, duration_days=0.0, quality_config=quality_config)
+        return self.conclude(
+            job=None, duration_days=0.0, quality_config=quality_config,
+            min_participants=min_participants, quorum=quorum,
+        )
 
     def run_adaptive(
         self,
@@ -364,57 +488,111 @@ class Campaign:
         rng: np.random.Generator,
         in_lab: bool = False,
         scheduler_factory=None,
+        session_start: Optional[float] = None,
     ) -> Tuple[ParticipantResult, Client]:
         """One participant's full extension flow, minus the upload.
 
         All randomness comes from ``rng``: with the campaign's shared stream
         this reproduces the historical sequential behaviour; with an
         independent substream the simulation is order-independent, which is
-        what makes the parallel mode deterministic.
+        what makes the parallel mode deterministic. ``session_start`` anchors
+        the client's session clock (breaker cooldowns, outage windows); the
+        fan-out passes the pre-fan-out time so it is thread-order free.
+
+        In resilient mode a :class:`~repro.errors.ParticipantAbandoned` is
+        absorbed here: the partial result is marked ``abandoned`` and returned
+        for upload, matching a real participant whose extension flushes what
+        they answered before walking away.
         """
         prepared = self._require_prepared()
         profile = self._sample_profile(rng)
-        client = Client(self.network, profile)
+        client = Client(
+            self.network, profile,
+            retry_policy=self.retry_policy,
+            client_id=worker.worker_id,
+            rng=rng,
+            breaker_config=self.breaker_config,
+            session_start=session_start,
+        )
         with PERF.timed("campaign.participant"):
             extension = BrowserExtension(
                 worker, judge, rng=rng, in_lab=in_lab,
                 download=self._make_downloader(client),
                 artifacts=self.artifacts,
                 schedule_lookup=self._schedule_for_path,
+                dropout_rate=self.dropout_rate,
             )
-            if scheduler_factory is None:
-                pages = self._pages_for_participant(
-                    prepared, controls_per_participant, rng
-                )
-                result = extension.run_test(
-                    prepared.test_id, prepared.parameters.question, pages
-                )
-            else:
-                version_ids = [
-                    v for v in prepared.version_ids if v != "__contrast__"
-                ]
-                pages_by_pair = {
-                    frozenset((p.left_version, p.right_version)): p
-                    for p in prepared.comparison_pairs()
-                }
-                controls = list(prepared.control_pairs())
-                order = rng.permutation(len(controls))
-                chosen = [controls[i] for i in order[:controls_per_participant]]
-                result = extension.run_adaptive_test(
-                    prepared.test_id,
-                    prepared.parameters.question[0],
-                    scheduler_factory(version_ids),
-                    pages_by_pair,
-                    control_pages=chosen,
-                )
+            try:
+                if scheduler_factory is None:
+                    pages = self._pages_for_participant(
+                        prepared, controls_per_participant, rng
+                    )
+                    result = extension.run_test(
+                        prepared.test_id, prepared.parameters.question, pages
+                    )
+                else:
+                    version_ids = [
+                        v for v in prepared.version_ids if v != "__contrast__"
+                    ]
+                    pages_by_pair = {
+                        frozenset((p.left_version, p.right_version)): p
+                        for p in prepared.comparison_pairs()
+                    }
+                    controls = list(prepared.control_pairs())
+                    order = rng.permutation(len(controls))
+                    chosen = [controls[i] for i in order[:controls_per_participant]]
+                    result = extension.run_adaptive_test(
+                        prepared.test_id,
+                        prepared.parameters.question[0],
+                        scheduler_factory(version_ids),
+                        pages_by_pair,
+                        control_pages=chosen,
+                    )
+            except ParticipantAbandoned as exc:
+                if not self._resilient:
+                    raise
+                result = exc.result
+                if result is None:
+                    result = ParticipantResult(
+                        test_id=prepared.test_id,
+                        worker_id=worker.worker_id,
+                        demographics=worker.demographics.as_dict(),
+                    )
+                result.abandoned = True
+                result.abandon_reason = exc.reason or "abandoned"
+                PERF.add("campaign.abandoned", 1)
         PERF.add("campaign.participants", 1)
         return result, client
 
     def _upload_result(
         self, client: Client, worker: WorkerProfile, result: ParticipantResult
     ) -> None:
-        upload = client.post_json(self.server.url("/responses"), result.as_dict())
+        """Upload one participant's result through their own client.
+
+        Non-resilient campaigns keep the historical contract: any failure is
+        fatal (network errors propagate unchanged, HTTP failures raise
+        :class:`~repro.errors.CampaignError`). Resilient campaigns record the
+        loss — ``(worker_id, reason)`` in :attr:`lost_uploads` — and move on,
+        so one flaky upload degrades the conclusion instead of killing the
+        whole run.
+        """
+        try:
+            upload = client.post_json(self.server.url("/responses"), result.as_dict())
+        except NetworkError as exc:
+            if not self._resilient:
+                raise
+            self.lost_uploads.append(
+                (worker.worker_id, f"network:{type(exc).__name__}")
+            )
+            PERF.add("campaign.lost_uploads", 1)
+            return
         if not upload.ok:
+            if self._resilient and upload.status >= 500:
+                self.lost_uploads.append(
+                    (worker.worker_id, f"http:{upload.status}")
+                )
+                PERF.add("campaign.lost_uploads", 1)
+                return
             raise CampaignError(
                 f"upload for {worker.worker_id} failed: {upload.text}"
             )
@@ -426,6 +604,7 @@ class Campaign:
         controls_per_participant: int,
         parallelism: int,
         in_lab: bool = False,
+        root_entropy: Optional[int] = None,
     ) -> None:
         """Simulate a roster on independent RNG substreams, optionally in
         parallel, and upload in roster order.
@@ -433,29 +612,54 @@ class Campaign:
         Each worker's stream comes from ``SeedSequence.spawn``, so no draw by
         one participant can perturb another — results are identical whether
         the roster runs serially or across ``parallelism`` threads. Uploads
-        happen from the calling thread in roster order, keeping the stored
-        response order (and hence analysis input order) deterministic.
+        happen from the calling thread in roster order, progressively as each
+        participant's simulation completes — so a crash mid-fan-out leaves a
+        checkpoint of finished uploads on the server.
+
+        ``root_entropy`` replays a previous fan-out: substreams are spawned
+        from it (for *every* roster slot, keeping stream alignment), and
+        workers whose uploads the server already stores are skipped — the
+        resume path after a crash. The entropy actually used is recorded in
+        :attr:`last_root_entropy`.
         """
         if parallelism < 1:
             raise CampaignError(f"parallelism must be >= 1, got {parallelism}")
         self._prewarm_artifacts()
-        root = np.random.SeedSequence(int(self.rng.integers(0, 2**63)))
+        if root_entropy is None:
+            root_entropy = int(self.rng.integers(0, 2**63))
+        self.last_root_entropy = root_entropy
+        root = np.random.SeedSequence(root_entropy)
+        # Spawn a stream per roster slot even when resuming (alignment):
+        # worker i always gets substream i regardless of who already finished.
         streams = [np.random.default_rng(s) for s in root.spawn(len(workers))]
+        completed = set(self.server.uploaded_worker_ids(self._require_prepared().test_id))
+        pending = [
+            i for i in range(len(workers))
+            if workers[i].worker_id not in completed
+        ]
+        # Captured once before the fan-out so every client's session clock has
+        # the same thread-order-free anchor.
+        session_start = self.env.now
 
         def simulate(index: int) -> Tuple[ParticipantResult, Client]:
             return self._simulate_participant(
                 workers[index], judge, controls_per_participant,
-                streams[index], in_lab=in_lab,
+                streams[index], in_lab=in_lab, session_start=session_start,
             )
 
-        if parallelism == 1 or len(workers) <= 1:
-            outcomes = [simulate(i) for i in range(len(workers))]
+        if parallelism == 1 or len(pending) <= 1:
+            for i in pending:
+                result, client = simulate(i)
+                self._upload_result(client, workers[i], result)
         else:
             with PERF.timed("campaign.parallel_fanout"):
                 with ThreadPoolExecutor(max_workers=parallelism) as pool:
-                    outcomes = list(pool.map(simulate, range(len(workers))))
-        for worker, (result, client) in zip(workers, outcomes):
-            self._upload_result(client, worker, result)
+                    # pool.map yields in submission order, so uploads land in
+                    # roster order while later simulations still overlap.
+                    for i, (result, client) in zip(
+                        pending, pool.map(simulate, pending)
+                    ):
+                        self._upload_result(client, workers[i], result)
 
     def _make_downloader(self, client: Client):
         def download(storage_path: str) -> str:
@@ -475,15 +679,24 @@ class Campaign:
         if self.artifacts is None or not self.artifacts.enabled:
             return
         prepared = self._require_prepared()
-        client = Client(self.network, PROFILES["cable"])
+        client = Client(
+            self.network, PROFILES["cable"],
+            retry_policy=self.retry_policy, client_id="prewarm",
+        )
         download = self._make_downloader(client)
         for page in prepared.integrated:
-            html = download(page.storage_path)
-            if html:
-                self.artifacts.get_or_build(
-                    page.storage_path, html,
-                    fetch=download, schedule_lookup=self._schedule_for_path,
-                )
+            try:
+                html = download(page.storage_path)
+                if html:
+                    self.artifacts.get_or_build(
+                        page.storage_path, html,
+                        fetch=download, schedule_lookup=self._schedule_for_path,
+                    )
+            except NetworkError:
+                if not self._resilient:
+                    raise
+                # Participants rebuild this page's artifacts on demand.
+                continue
 
     def _schedule_for_path(self, storage_path: str):
         """The replay schedule injected into a stored version page, or None.
@@ -556,8 +769,22 @@ class Campaign:
         job: Optional[CrowdJob],
         duration_days: float,
         quality_config: Optional[QualityConfig] = None,
+        min_participants: Optional[int] = None,
+        quorum: Optional[float] = None,
     ) -> CampaignResult:
-        """Apply quality control and analysis to everything uploaded so far."""
+        """Apply quality control and analysis to everything uploaded so far.
+
+        A campaign that lost participants (abandonment, lost uploads) still
+        concludes: the survivors are analyzed and the result carries a
+        :class:`DegradedConclusion` describing what was measured — including
+        per-(question, pair) answer coverage, so an under-sampled cell is
+        visible rather than silently thin.
+
+        ``min_participants`` (absolute count of complete participants) and
+        ``quorum`` (fraction of the recruited roster that completed) are
+        hard floors: when either is unmet a :class:`~repro.errors.
+        CampaignError` is raised instead of concluding on too little data.
+        """
         prepared = self._require_prepared()
         raw = self.server.stored_results(prepared.test_id)
         if not raw:
@@ -582,6 +809,49 @@ class Campaign:
         ]
         raw_analysis = analyze_responses(raw, question_ids, version_ids)
         controlled_analysis = analyze_responses(report.kept, question_ids, version_ids)
+        abandoned = [r for r in raw if getattr(r, "abandoned", False)]
+        complete = [
+            r for r in raw
+            if not getattr(r, "abandoned", False)
+            and len(r.answers) >= expected_answers
+        ]
+        if job is not None and job.participants_recruited:
+            recruited = job.participants_recruited
+        else:
+            recruited = len(raw) + len(self.lost_uploads)
+        degraded: Optional[DegradedConclusion] = None
+        needs_report = (
+            abandoned
+            or self.lost_uploads
+            or len(complete) < recruited
+            or min_participants is not None
+            or quorum is not None
+        )
+        if needs_report:
+            pair_coverage = raw_analysis.answer_coverage()
+            expected_total = recruited * len(pair_coverage)
+            achieved = sum(pair_coverage.values())
+            degraded = DegradedConclusion(
+                recruited=recruited,
+                uploaded=len(raw),
+                complete=len(complete),
+                abandoned=len(abandoned),
+                lost_uploads=list(self.lost_uploads),
+                expected_answers=expected_answers,
+                pair_coverage=pair_coverage,
+                min_pair_coverage=raw_analysis.min_coverage(),
+                coverage_fraction=(
+                    min(1.0, achieved / expected_total) if expected_total else 0.0
+                ),
+                min_participants=min_participants,
+                quorum=quorum,
+            )
+            if not degraded.quorum_met:
+                raise CampaignError(
+                    "campaign degraded below the conclusion floor: "
+                    f"{degraded.complete}/{degraded.recruited} complete "
+                    f"(min_participants={min_participants}, quorum={quorum})"
+                )
         return CampaignResult(
             test_id=prepared.test_id,
             raw_results=raw,
@@ -591,6 +861,7 @@ class Campaign:
             job=job,
             duration_days=duration_days,
             total_cost_usd=job.total_cost_usd if job is not None else 0.0,
+            degraded=degraded,
         )
 
     def _require_prepared(self) -> PreparedTest:

@@ -31,10 +31,10 @@ from repro.core.integrated import (
     IntegratedWebpage,
 )
 from repro.core.parameters import Question
-from repro.crowd.behavior import BehaviorTrace, sample_behavior
+from repro.crowd.behavior import BehaviorTrace, dropout_probability, sample_behavior
 from repro.crowd.judgment import judge_contrast_pair, judge_identical_pair
 from repro.crowd.workers import WorkerProfile
-from repro.errors import ExtensionError
+from repro.errors import ExtensionError, NetworkError, ParticipantAbandoned
 from repro.util.rng import coerce_rng
 
 # judge(worker, question, left_version, right_version, rng) -> 'left'|'right'|'same'
@@ -79,7 +79,13 @@ class Answer:
 
 @dataclass
 class ParticipantResult:
-    """Everything one participant uploads at the end of a test."""
+    """Everything one participant uploads at the end of a test.
+
+    ``abandoned`` marks a partial upload from a participant who walked away
+    mid-test (dropout, exhausted retries, open circuit); the keys are only
+    serialized when set, so complete uploads are byte-identical to the
+    pre-resilience wire format.
+    """
 
     test_id: str
     worker_id: str
@@ -87,9 +93,11 @@ class ParticipantResult:
     answers: List[Answer] = field(default_factory=list)
     total_minutes: float = 0.0
     revisits: int = 0
+    abandoned: bool = False
+    abandon_reason: str = ""
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "test_id": self.test_id,
             "worker_id": self.worker_id,
             "demographics": self.demographics,
@@ -97,6 +105,10 @@ class ParticipantResult:
             "total_minutes": self.total_minutes,
             "revisits": self.revisits,
         }
+        if self.abandoned:
+            payload["abandoned"] = True
+            payload["abandon_reason"] = self.abandon_reason
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "ParticipantResult":
@@ -107,6 +119,8 @@ class ParticipantResult:
             answers=[Answer.from_dict(a) for a in data["answers"]],
             total_minutes=float(data.get("total_minutes", 0.0)),
             revisits=int(data.get("revisits", 0)),
+            abandoned=bool(data.get("abandoned", False)),
+            abandon_reason=str(data.get("abandon_reason", "")),
         )
 
     def answers_for(self, question_id: str, include_controls: bool = False) -> List[Answer]:
@@ -131,6 +145,7 @@ class BrowserExtension:
         download=None,
         artifacts=None,
         schedule_lookup=None,
+        dropout_rate: float = 0.0,
     ):
         """``download(storage_path) -> html`` fetches an integrated page from
         the core server; None skips the network (judgment-only simulation).
@@ -142,6 +157,10 @@ class BrowserExtension:
         rendered once per campaign rather than once per participant.
         ``schedule_lookup(storage_path)`` resolves a version page's injected
         replay schedule for the reveal-time computation.
+
+        ``dropout_rate`` is the base per-page probability the participant
+        walks away mid-test (scaled by worker type and attention); 0 (the
+        default) draws nothing from the RNG, keeping the historical stream.
         """
         self.worker = worker
         self.judge = judge
@@ -150,6 +169,7 @@ class BrowserExtension:
         self.download = download
         self.artifacts = artifacts
         self.schedule_lookup = schedule_lookup
+        self.dropout_rate = float(dropout_rate)
         # storage_path -> PageArtifacts for every page this participant viewed.
         self.viewed = {}
 
@@ -169,7 +189,8 @@ class BrowserExtension:
             worker_id=self.worker.worker_id,
             demographics=self.worker.demographics.as_dict(),
         )
-        for page in integrated_pages:
+        for index, page in enumerate(integrated_pages):
+            self._maybe_drop_out(index, result)
             self._visit_page(page, questions, result)
         return result
 
@@ -198,10 +219,13 @@ class BrowserExtension:
         )
         for control in control_pages:
             self._visit_page(control, [question], result)
+        pages_seen = len(control_pages)
         while True:
             pair = scheduler.next_pair()
             if pair is None:
                 break
+            self._maybe_drop_out(pages_seen, result)
+            pages_seen += 1
             want_left, want_right = pair
             page = pages_by_pair.get(frozenset(pair))
             if page is None:
@@ -223,10 +247,22 @@ class BrowserExtension:
         result: ParticipantResult,
     ) -> None:
         if self.download is not None:
-            html = self.download(page.storage_path)
+            try:
+                html = self.download(page.storage_path)
+            except NetworkError as exc:
+                # Retries (if any) are already exhausted inside the client:
+                # the participant gives up, keeping whatever they answered.
+                raise ParticipantAbandoned(
+                    f"participant {self.worker.worker_id} lost page "
+                    f"{page.integrated_id!r}: {exc}",
+                    result=result,
+                    reason=f"network:{type(exc).__name__}",
+                )
             if not html:
-                raise ExtensionError(
-                    f"could not download integrated page {page.integrated_id!r}"
+                raise ParticipantAbandoned(
+                    f"could not download integrated page {page.integrated_id!r}",
+                    result=result,
+                    reason="download-failed",
                 )
             if self.artifacts is not None:
                 self.viewed[page.storage_path] = self.artifacts.get_or_build(
@@ -254,6 +290,20 @@ class BrowserExtension:
                 )
             )
         result.total_minutes += trace.duration_minutes
+
+    def _maybe_drop_out(self, pages_seen: int, result: ParticipantResult) -> None:
+        """Seeded dropout: before each page after the first, the participant
+        may walk away. No RNG draw happens when dropout is disabled."""
+        if self.dropout_rate <= 0.0 or pages_seen == 0:
+            return
+        probability = dropout_probability(self.worker, self.dropout_rate)
+        if float(self.rng.uniform()) < probability:
+            raise ParticipantAbandoned(
+                f"participant {self.worker.worker_id} dropped out after "
+                f"{pages_seen} page(s)",
+                result=result,
+                reason="dropout",
+            )
 
     def _fetch_resource(self, storage_path: str) -> str:
         """Resolve an iframe ``src`` (a storage path) through the download

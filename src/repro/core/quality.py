@@ -25,6 +25,7 @@ from repro.core.extension import ParticipantResult
 from repro.errors import ValidationError
 
 REASON_INCOMPLETE = "hard-rule:incomplete"
+REASON_ABANDONED = "hard-rule:abandoned"
 REASON_TOO_FAST = "engagement:too-fast"
 REASON_TOO_SLOW = "engagement:too-slow"
 REASON_TAB_CHURN = "engagement:tab-churn"
@@ -113,10 +114,18 @@ class QualityControl:
         config = self.config
         if config.enable_hard_rules:
             if len(result.answers) < expected_answers:
+                # Distinguish a participant who walked away (dropout, network
+                # failure) from one who uploaded a short submission.
+                abandoned = getattr(result, "abandoned", False)
                 return DropRecord(
                     result.worker_id,
-                    REASON_INCOMPLETE,
-                    f"{len(result.answers)}/{expected_answers} answers",
+                    REASON_ABANDONED if abandoned else REASON_INCOMPLETE,
+                    f"{len(result.answers)}/{expected_answers} answers"
+                    + (
+                        f" ({getattr(result, 'abandon_reason', '')})"
+                        if abandoned
+                        else ""
+                    ),
                 )
             if any(a.answer not in ("left", "right", "same") for a in result.answers):
                 return DropRecord(result.worker_id, REASON_INCOMPLETE, "invalid answer value")

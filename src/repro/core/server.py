@@ -31,7 +31,7 @@ from repro.core.aggregator import (
 from repro.core.analysis import analyze_responses
 from repro.core.extension import ParticipantResult
 from repro.errors import StorageError
-from repro.net.http import HttpServer, Request, Response, Router
+from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response, Router
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
 
@@ -107,6 +107,23 @@ class CoreServer:
         if tests.find_one({"test_id": result.test_id}) is None:
             return Response.bad_request(f"unknown test {result.test_id!r}")
         responses = self.database.collection(RESPONSES_COLLECTION)
+        # Idempotent replay: a retried upload whose first ack was lost in
+        # flight carries the same client-generated token; answer "stored"
+        # again without writing a second row.
+        token = request.headers.get(IDEMPOTENCY_HEADER, "")
+        if token:
+            replay = responses.find_one(
+                {"test_id": result.test_id, "idempotency_key": token}
+            )
+            if replay is not None:
+                return Response.json_response(
+                    {
+                        "status": "stored",
+                        "worker_id": result.worker_id,
+                        "deduplicated": True,
+                    },
+                    status=200,
+                )
         duplicate = responses.find_one(
             {"test_id": result.test_id, "worker_id": result.worker_id}
         )
@@ -115,7 +132,10 @@ class CoreServer:
                 {"error": "duplicate submission", "worker_id": result.worker_id},
                 status=409,
             )
-        responses.insert_one(result.as_dict())
+        row = result.as_dict()
+        if token:
+            row["idempotency_key"] = token
+        responses.insert_one(row)
         return Response.json_response(
             {"status": "stored", "worker_id": result.worker_id}, status=201
         )
@@ -194,3 +214,9 @@ class CoreServer:
     def response_count(self, test_id: str) -> int:
         """Number of uploads so far."""
         return self.database.collection(RESPONSES_COLLECTION).count({"test_id": test_id})
+
+    def uploaded_worker_ids(self, test_id: str) -> List[str]:
+        """Worker ids with a stored upload — the campaign's resume checkpoint:
+        a crashed run skips these participants instead of re-simulating them."""
+        rows = self.database.collection(RESPONSES_COLLECTION).find({"test_id": test_id})
+        return [row["worker_id"] for row in rows]

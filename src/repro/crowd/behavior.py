@@ -99,6 +99,30 @@ def sample_behavior(
     )
 
 
+# Dropout susceptibility by worker type: distracted workers wander off
+# mid-test far more often than trustworthy ones (the EYEORG-style operational
+# pain the resilience layer exists to survive); spammers bail when bored.
+_DROPOUT_SUSCEPTIBILITY = {
+    WorkerType.TRUSTWORTHY: 0.6,
+    WorkerType.DISTRACTED: 1.8,
+    WorkerType.SPAMMER: 1.2,
+}
+
+
+def dropout_probability(worker: WorkerProfile, base_rate: float) -> float:
+    """Per-page probability that ``worker`` abandons the test.
+
+    ``base_rate`` is the campaign-level knob; the worker's type and attention
+    scale it (low attention up to ~1.5x, full attention down to 1x). Clamped
+    to [0, 0.9] so even the flakiest worker has a chance to finish.
+    """
+    if base_rate <= 0.0:
+        return 0.0
+    susceptibility = _DROPOUT_SUSCEPTIBILITY[worker.worker_type]
+    attention_factor = 1.5 - 0.5 * worker.attention
+    return float(min(0.9, base_rate * susceptibility * attention_factor))
+
+
 def engagement_score(trace: BehaviorTrace) -> float:
     """A scalar engagement indicator in [0, 1].
 

@@ -49,7 +49,41 @@ class QueryError(StorageError):
 
 
 class NetworkError(ReproError):
-    """Raised by the simulated network layer (unroutable host, closed server)."""
+    """Raised by the simulated network layer (unroutable host, closed server).
+
+    ``elapsed_seconds`` is how much virtual transfer time the failed exchange
+    consumed before it died (0.0 when the failure was instantaneous, e.g. an
+    unroutable host); clients fold it into their engagement accounting.
+    """
+
+    elapsed_seconds: float = 0.0
+
+
+class TimeoutError(NetworkError):  # noqa: A001 — deliberately mirrors the builtin
+    """Raised when an injected fault times a request out in flight.
+
+    The request *did* reach the server (its side effects happened); only the
+    response was lost — which is why response uploads must carry an
+    idempotency token to be safely retried.
+    """
+
+    def __init__(self, message: str, elapsed_seconds: float = 0.0):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+
+
+class ConnectionDropped(NetworkError):
+    """Raised when the connection is dropped before the request is handled
+    (an injected drop fault or a scheduled outage window)."""
+
+    def __init__(self, message: str, elapsed_seconds: float = 0.0):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+
+
+class CircuitOpenError(NetworkError):
+    """Raised by a client whose circuit breaker for the target host is open:
+    the request fails fast without touching the network."""
 
 
 class FetchError(NetworkError):
@@ -73,6 +107,21 @@ class CampaignError(ReproError):
 class ExtensionError(ReproError):
     """Raised by the simulated browser extension for protocol violations
     (e.g. advancing to the next integrated webpage with unanswered questions)."""
+
+
+class ParticipantAbandoned(ExtensionError):
+    """Raised when a participant gives up mid-test — exhausted download
+    retries, an open circuit to the core server, or simulated dropout.
+
+    Carries the partial :class:`~repro.core.extension.ParticipantResult`
+    accumulated so far so a resilient campaign can keep whatever answers
+    were collected before the walk-away.
+    """
+
+    def __init__(self, message: str, result=None, reason: str = ""):
+        super().__init__(message)
+        self.result = result
+        self.reason = reason
 
 
 class PlatformError(ReproError):

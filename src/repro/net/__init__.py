@@ -10,20 +10,36 @@ removes.
 """
 
 from repro.net.profiles import NetworkProfile, PROFILES, get_profile
-from repro.net.http import Request, Response, Router, HttpServer
-from repro.net.simnet import SimulatedNetwork
+from repro.net.http import IDEMPOTENCY_HEADER, Request, Response, Router, HttpServer
+from repro.net.simnet import Client, SimulatedNetwork
 from repro.net.fetch import FetchedResource, ResourceFetcher, StaticResourceMap
+from repro.net.faults import (
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    FaultPlan,
+    FaultRule,
+    OutageWindow,
+    RetryPolicy,
+)
 
 __all__ = [
     "NetworkProfile",
     "PROFILES",
     "get_profile",
+    "IDEMPOTENCY_HEADER",
     "Request",
     "Response",
     "Router",
     "HttpServer",
+    "Client",
     "SimulatedNetwork",
     "FetchedResource",
     "ResourceFetcher",
     "StaticResourceMap",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "FaultPlan",
+    "FaultRule",
+    "OutageWindow",
+    "RetryPolicy",
 ]

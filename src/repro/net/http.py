@@ -27,8 +27,15 @@ STATUS_REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+# Header carrying a client-generated dedupe token: the core server treats a
+# replayed request with a token it has already stored as a no-op success, so
+# non-idempotent uploads can be retried after a lost response.
+IDEMPOTENCY_HEADER = "x-idempotency-key"
 
 
 @dataclass

@@ -50,6 +50,23 @@ class NetworkProfile:
         down = (response_bytes * 8.0) / (self.downlink_kbps * 1000.0)
         return self.rtt_ms / 1000.0 + up + down
 
+    def degraded(
+        self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0
+    ) -> "NetworkProfile":
+        """A derived profile under degraded conditions (congestion, partial
+        outage): RTT multiplied by ``latency_factor``, both bandwidths scaled
+        by ``bandwidth_factor`` (must be in (0, 1])."""
+        if latency_factor < 1.0:
+            raise ValidationError("latency_factor must be >= 1")
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValidationError("bandwidth_factor must be in (0, 1]")
+        return NetworkProfile(
+            name=f"{self.name}-degraded",
+            rtt_ms=self.rtt_ms * latency_factor,
+            downlink_kbps=self.downlink_kbps * bandwidth_factor,
+            uplink_kbps=self.uplink_kbps * bandwidth_factor,
+        )
+
 
 # Presets roughly matching common emulation targets (Chrome DevTools /
 # WebPageTest naming conventions).

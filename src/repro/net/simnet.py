@@ -6,6 +6,15 @@ timed against a :class:`~repro.net.profiles.NetworkProfile` and, when the
 network is bound to a :class:`~repro.sim.SimulationEnvironment`, advances the
 shared virtual clock — so a participant on a "3g" profile genuinely takes
 longer to download an integrated webpage than one on "fiber".
+
+The network can also carry a :class:`~repro.net.faults.FaultPlan`: a seeded
+policy of drops, timeouts, injected 5xx responses, latency spikes and
+scheduled outage windows, consulted before and after the server handles each
+request. Injected faults are recorded in the exchange log and the traffic
+stats, and surface to callers as :class:`~repro.errors.ConnectionDropped` /
+:class:`~repro.errors.TimeoutError`. The :class:`Client` layers retries, an
+idempotency token for response uploads, and a per-host circuit breaker on
+top.
 """
 
 from __future__ import annotations
@@ -14,15 +23,33 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import NetworkError
-from repro.net.http import HttpServer, Request, Response
+import repro.errors as errors
+from repro.errors import CircuitOpenError, ConnectionDropped, NetworkError
+from repro.net.faults import (
+    FAULT_5XX,
+    FAULT_DROP,
+    FAULT_LATENCY,
+    FAULT_OUTAGE,
+    FAULT_TIMEOUT,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response
 from repro.net.profiles import NetworkProfile, get_profile
 from repro.sim.clock import SimulationEnvironment
+from repro.util.perf import PERF
 
 
 @dataclass
 class ExchangeRecord:
-    """One logged request/response exchange."""
+    """One logged request/response exchange.
+
+    ``fault`` names the injected fault for exchanges the fault plan touched
+    ("" for clean exchanges); faulted exchanges that never produced a
+    response log ``status`` 0.
+    """
 
     time: float
     host: str
@@ -32,6 +59,7 @@ class ExchangeRecord:
     elapsed_seconds: float
     request_bytes: int
     response_bytes: int
+    fault: str = ""
 
 
 @dataclass
@@ -42,16 +70,27 @@ class TrafficStats:
     bytes_up: int = 0
     bytes_down: int = 0
     errors: int = 0
+    faults_injected: int = 0
+    drops: int = 0
+    timeouts: int = 0
+    injected_errors: int = 0
+    latency_spikes: int = 0
 
 
 class SimulatedNetwork:
     """Routes requests to hosts and accounts for transfer time."""
 
-    def __init__(self, env: Optional[SimulationEnvironment] = None):
+    def __init__(
+        self,
+        env: Optional[SimulationEnvironment] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         self.env = env
+        self.faults = fault_plan if fault_plan is not None else FaultPlan.none()
         self._hosts: Dict[str, HttpServer] = {}
         self.log: List[ExchangeRecord] = []
         self.stats = TrafficStats()
+        self._exchange_seq = 0
         # Exchanges mutate the log, the stats and the virtual clock; the
         # campaign's parallel participant mode issues them from worker
         # threads, so one exchange must complete atomically. Compute between
@@ -61,10 +100,11 @@ class SimulatedNetwork:
     # -- topology ---------------------------------------------------------
 
     def attach(self, server: HttpServer) -> HttpServer:
-        """Attach a server; its host becomes routable."""
-        if server.host in self._hosts:
+        """Attach a server; its host becomes routable (case-insensitively)."""
+        host = server.host.lower()
+        if host in self._hosts:
             raise NetworkError(f"host {server.host!r} already attached")
-        self._hosts[server.host] = server
+        self._hosts[host] = server
         return server
 
     def detach(self, host: str) -> None:
@@ -81,44 +121,181 @@ class SimulatedNetwork:
         self,
         request: Request,
         profile: Optional[NetworkProfile] = None,
+        now: Optional[float] = None,
+        fault_token: Optional[str] = None,
     ) -> Tuple[Response, float]:
         """Send a request; returns ``(response, elapsed_seconds)``.
 
         When the network has a simulation environment, the virtual clock is
         advanced by the elapsed time (requests are modelled as blocking the
         issuing participant).
+
+        ``now`` is the caller's notion of virtual time for outage-window
+        checks (a client passes its own session clock so window membership
+        stays deterministic under parallel simulation); it defaults to the
+        environment clock. ``fault_token`` identifies the attempt for the
+        fault plan's stable draws; without one a network-level sequence
+        number is used.
+
+        Raises :class:`~repro.errors.ConnectionDropped` /
+        :class:`~repro.errors.TimeoutError` for injected connection faults;
+        both carry ``elapsed_seconds`` for the time the failed exchange
+        burned.
         """
         profile = profile or get_profile("cable")
-        host = request.host
+        host = request.host.lower()
         with self._lock:
             server = self._hosts.get(host)
             if server is None:
                 self.stats.errors += 1
                 raise NetworkError(f"no route to host {host!r}")
-            response = server.handle(request)
-            elapsed = profile.request_seconds(request.size_bytes, response.size_bytes)
-            now = self.env.now if self.env is not None else 0.0
-            self.log.append(
-                ExchangeRecord(
-                    time=now,
-                    host=host,
-                    method=request.method,
-                    path=request.path,
-                    status=response.status,
+            clock_now = self.env.now if self.env is not None else 0.0
+            when = now if now is not None else clock_now
+            if fault_token is None:
+                self._exchange_seq += 1
+                fault_token = f"net|{self._exchange_seq}"
+            decision = self.faults.decide(request, when, fault_token)
+
+            if decision is not None and decision.kind in (FAULT_DROP, FAULT_OUTAGE):
+                # Connection-level failure: the server never saw the request.
+                elapsed = profile.rtt_ms / 1000.0
+                self._record_fault(request, host, elapsed, decision.kind)
+                self.stats.drops += 1
+                self._advance(elapsed)
+                raise ConnectionDropped(
+                    f"connection to {host!r} dropped"
+                    + (" (outage window)" if decision.kind == FAULT_OUTAGE else ""),
                     elapsed_seconds=elapsed,
-                    request_bytes=request.size_bytes,
-                    response_bytes=response.size_bytes,
                 )
-            )
-            self.stats.requests += 1
-            self.stats.bytes_up += request.size_bytes
-            self.stats.bytes_down += response.size_bytes
-            if not response.ok:
+            if decision is not None and decision.kind == FAULT_5XX:
+                # An overloaded front end answers without reaching the app.
+                response = Response.json_response(
+                    {"error": "injected fault", "detail": "service unavailable"},
+                    status=decision.rule.status,
+                )
+                return self._commit(request, host, response, profile, fault=FAULT_5XX)
+
+            try:
+                response = server.handle(request)
+            except NetworkError as exc:
+                # Connection refused (closed server): burns one RTT.
+                elapsed = profile.rtt_ms / 1000.0
+                exc.elapsed_seconds = elapsed
                 self.stats.errors += 1
-            if self.env is not None:
-                self.env.schedule_in(elapsed, lambda: None, label="net-transfer")
-                self.env.run(until=self.env.now + elapsed)
+                self.log.append(
+                    ExchangeRecord(
+                        time=clock_now,
+                        host=host,
+                        method=request.method,
+                        path=request.path,
+                        status=0,
+                        elapsed_seconds=elapsed,
+                        request_bytes=request.size_bytes,
+                        response_bytes=0,
+                        fault="refused",
+                    )
+                )
+                self._advance(elapsed)
+                raise
+
+            if decision is not None and decision.kind == FAULT_TIMEOUT:
+                # The server handled it; the response was lost in flight.
+                elapsed = max(
+                    profile.request_seconds(request.size_bytes, response.size_bytes),
+                    decision.rule.timeout_seconds,
+                )
+                self._record_fault(request, host, elapsed, FAULT_TIMEOUT)
+                self.stats.timeouts += 1
+                self._advance(elapsed)
+                raise errors.TimeoutError(
+                    f"request to {host}{request.path} timed out after {elapsed:.1f}s",
+                    elapsed_seconds=elapsed,
+                )
+            latency_fault = decision is not None and decision.kind == FAULT_LATENCY
+            return self._commit(
+                request, host, response, profile,
+                fault=FAULT_LATENCY if latency_fault else "",
+                latency_multiplier=(
+                    decision.rule.latency_multiplier if latency_fault else 1.0
+                ),
+            )
+
+    def _commit(
+        self,
+        request: Request,
+        host: str,
+        response: Response,
+        profile: NetworkProfile,
+        fault: str = "",
+        latency_multiplier: float = 1.0,
+    ) -> Tuple[Response, float]:
+        """Account for one completed exchange (called under the lock)."""
+        elapsed = profile.request_seconds(request.size_bytes, response.size_bytes)
+        elapsed *= latency_multiplier
+        self.log.append(
+            ExchangeRecord(
+                time=self.env.now if self.env is not None else 0.0,
+                host=host,
+                method=request.method,
+                path=request.path,
+                status=response.status,
+                elapsed_seconds=elapsed,
+                request_bytes=request.size_bytes,
+                response_bytes=response.size_bytes,
+                fault=fault,
+            )
+        )
+        self.stats.requests += 1
+        self.stats.bytes_up += request.size_bytes
+        self.stats.bytes_down += response.size_bytes
+        if not response.ok:
+            self.stats.errors += 1
+        if fault:
+            self.stats.faults_injected += 1
+            if fault == FAULT_5XX:
+                self.stats.injected_errors += 1
+            elif fault == FAULT_LATENCY:
+                self.stats.latency_spikes += 1
+            PERF.add("net.faults", 1)
+        self._advance(elapsed)
         return response, elapsed
+
+    def _record_fault(
+        self, request: Request, host: str, elapsed: float, kind: str
+    ) -> None:
+        """Log a response-less faulted exchange (called under the lock)."""
+        self.log.append(
+            ExchangeRecord(
+                time=self.env.now if self.env is not None else 0.0,
+                host=host,
+                method=request.method,
+                path=request.path,
+                status=0,
+                elapsed_seconds=elapsed,
+                request_bytes=request.size_bytes,
+                response_bytes=0,
+                fault=kind,
+            )
+        )
+        self.stats.requests += 1
+        self.stats.bytes_up += request.size_bytes
+        self.stats.errors += 1
+        self.stats.faults_injected += 1
+        PERF.add("net.faults", 1)
+
+    def _advance(self, elapsed: float) -> None:
+        if self.env is not None and elapsed > 0:
+            self.env.schedule_in(elapsed, lambda: None, label="net-transfer")
+            self.env.run(until=self.env.now + elapsed)
+
+    def wait(self, seconds: float) -> None:
+        """Advance the virtual clock by ``seconds`` (client retry backoff)."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            if self.env is not None:
+                self.env.schedule_in(seconds, lambda: None, label="net-backoff")
+                self.env.run(until=self.env.now + seconds)
 
     def get(self, url: str, profile: Optional[NetworkProfile] = None) -> Response:
         """Convenience GET; returns just the response."""
@@ -133,28 +310,136 @@ class SimulatedNetwork:
         return response
 
 
+_NO_RETRY = RetryPolicy.none()
+
+
 class Client:
     """A participant-side HTTP client pinned to one network profile.
 
     Accumulates per-client transfer time so the extension can report how long
-    a participant spent downloading test resources.
+    a participant spent downloading test resources — failed attempts count:
+    a dropped download still consumed the participant's time.
+
+    With a :class:`~repro.net.faults.RetryPolicy` the client retries failed
+    exchanges (exponential backoff, seeded jitter from ``rng``, a per-client
+    retry budget). GETs retry freely; JSON POSTs gain an idempotency token
+    (honored by the core server's dedupe) so a response upload whose ack was
+    lost can be retried safely. An optional per-host circuit breaker fails
+    fast after consecutive failures and half-opens on the client's own
+    session clock — ``session_start`` plus accumulated transfer and backoff
+    time — which also anchors outage-window checks deterministically.
     """
 
-    def __init__(self, network: SimulatedNetwork, profile: NetworkProfile):
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        profile: NetworkProfile,
+        retry_policy: Optional[RetryPolicy] = None,
+        client_id: str = "client",
+        rng=None,
+        breaker_config: Optional[CircuitBreakerConfig] = None,
+        session_start: Optional[float] = None,
+    ):
         self.network = network
         self.profile = profile
+        self.retry_policy = retry_policy
+        self.client_id = client_id
+        self.rng = rng
+        self.breaker_config = breaker_config
         self.total_transfer_seconds = 0.0
+        self.backoff_seconds = 0.0
         self.requests_made = 0
+        self.retries = 0
+        self.failed_requests = 0
+        self._seq = 0
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        if session_start is None:
+            session_start = network.env.now if network.env is not None else 0.0
+        self.session_start = session_start
 
-    def request(self, request: Request) -> Response:
-        """Issue a request over this client's profile."""
-        response, elapsed = self.network.exchange(request, self.profile)
-        self.total_transfer_seconds += elapsed
-        self.requests_made += 1
-        return response
+    @property
+    def session_now(self) -> float:
+        """This client's own virtual timeline: start + everything it waited."""
+        return self.session_start + self.total_transfer_seconds + self.backoff_seconds
+
+    def breaker_for(self, host: str) -> Optional[CircuitBreaker]:
+        """The host's circuit breaker (None when breakers are disabled)."""
+        if self.breaker_config is None:
+            return None
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            breaker = self._breakers[host] = CircuitBreaker(self.breaker_config)
+        return breaker
+
+    def request(self, request: Request, idempotent: Optional[bool] = None) -> Response:
+        """Issue a request over this client's profile, retrying per policy."""
+        if idempotent is None:
+            idempotent = request.method in ("GET", "HEAD")
+        policy = self.retry_policy or _NO_RETRY
+        retryable = idempotent or IDEMPOTENCY_HEADER in request.headers
+        host = request.host
+        self._seq += 1
+        seq = self._seq
+        attempt = 0
+        while True:
+            attempt += 1
+            breaker = self.breaker_for(host)
+            if breaker is not None and not breaker.allow(self.session_now):
+                raise CircuitOpenError(f"circuit open for host {host!r}")
+            token = f"{self.client_id}|{seq}|{attempt}"
+            try:
+                response, elapsed = self.network.exchange(
+                    request, self.profile, now=self.session_now, fault_token=token
+                )
+            except NetworkError as exc:
+                # The failed attempt still consumed the participant's time.
+                self.requests_made += 1
+                self.total_transfer_seconds += float(
+                    getattr(exc, "elapsed_seconds", 0.0) or 0.0
+                )
+                self.failed_requests += 1
+                if breaker is not None:
+                    breaker.record_failure(self.session_now)
+                if retryable and self._backoff(policy, attempt):
+                    continue
+                raise
+            self.requests_made += 1
+            self.total_transfer_seconds += elapsed
+            if response.status in policy.retry_on_status:
+                self.failed_requests += 1
+                if breaker is not None:
+                    breaker.record_failure(self.session_now)
+                if retryable and self._backoff(policy, attempt):
+                    continue
+                return response
+            if breaker is not None:
+                breaker.record_success()
+            return response
+
+    def _backoff(self, policy: RetryPolicy, attempt: int) -> bool:
+        """Wait before retrying; False when attempts or budget are spent."""
+        if attempt >= policy.max_attempts:
+            return False
+        delay = policy.backoff_seconds(attempt, rng=self.rng)
+        if self.backoff_seconds + delay > policy.retry_budget_seconds:
+            return False
+        self.backoff_seconds += delay
+        self.network.wait(delay)
+        self.retries += 1
+        PERF.add("net.retries", 1)
+        return True
 
     def get(self, url: str) -> Response:
         return self.request(Request.get(url))
 
-    def post_json(self, url: str, payload) -> Response:
-        return self.request(Request.post_json(url, payload))
+    def post_json(self, url: str, payload, idempotency_key: Optional[str] = None) -> Response:
+        """JSON POST; with retries enabled the request carries an idempotency
+        token so the server can dedupe a replay whose first ack was lost."""
+        headers = {}
+        if idempotency_key is None and (
+            self.retry_policy is not None and self.retry_policy.max_attempts > 1
+        ):
+            idempotency_key = f"{self.client_id}:{self._seq + 1}"
+        if idempotency_key:
+            headers[IDEMPOTENCY_HEADER] = idempotency_key
+        return self.request(Request.post_json(url, payload, **headers))

@@ -9,7 +9,7 @@ from repro.core.server import CoreServer
 from repro.crowd.behavior import BehaviorTrace
 from repro.crowd.platform import CrowdPlatform
 from repro.html.parser import parse_html
-from repro.net.http import Request
+from repro.net.http import IDEMPOTENCY_HEADER, Request
 from repro.net.simnet import SimulatedNetwork
 from repro.sim.clock import SimulationEnvironment
 from repro.storage.documentstore import DocumentStore
@@ -134,6 +134,63 @@ class TestPostResponse:
         assert isinstance(results[0], ParticipantResult)
         assert results[0].answers[0].answer == "left"
         assert server.response_count("srv-test") == 1
+
+    def test_unparseable_body_500(self, stack):
+        server, network, _, database = stack
+        request = Request(
+            "POST",
+            server.url("/responses"),
+            headers={"content-type": "application/json"},
+            body=b"{not json",
+        )
+        response, _ = network.exchange(request)
+        assert response.status == 500
+        assert database.collection(RESPONSES_COLLECTION).count({}) == 0
+
+    def test_stored_results_empty_test(self, stack):
+        server, _, _, _ = stack
+        assert server.stored_results("srv-test") == []
+        assert server.response_count("srv-test") == 0
+        assert server.uploaded_worker_ids("srv-test") == []
+
+
+class TestIdempotency:
+    def post(self, server, network, token, worker_id="w1"):
+        request = Request.post_json(
+            server.url("/responses"),
+            upload_payload(worker_id=worker_id),
+            **{IDEMPOTENCY_HEADER: token},
+        )
+        return network.exchange(request)[0]
+
+    def test_replay_deduplicated(self, stack):
+        server, network, _, database = stack
+        first = self.post(server, network, "w1:1")
+        assert first.status == 201
+        replay = self.post(server, network, "w1:1")
+        # The retried upload whose ack was lost: acknowledged again, stored once.
+        assert replay.status == 200
+        assert replay.json()["deduplicated"] is True
+        assert database.collection(RESPONSES_COLLECTION).count({"test_id": "srv-test"}) == 1
+
+    def test_different_token_same_worker_still_conflicts(self, stack):
+        server, network, _, _ = stack
+        assert self.post(server, network, "w1:1").status == 201
+        # A genuinely new submission from the same worker is a duplicate.
+        assert self.post(server, network, "w1:2").status == 409
+
+    def test_token_not_leaked_into_results(self, stack):
+        server, network, _, _ = stack
+        self.post(server, network, "w1:1")
+        result = server.stored_results("srv-test")[0]
+        assert not hasattr(result, "idempotency_key")
+        assert result.worker_id == "w1"
+
+    def test_uploaded_worker_ids_checkpoint(self, stack):
+        server, network, _, _ = stack
+        self.post(server, network, "w1:1", worker_id="w1")
+        self.post(server, network, "w2:1", worker_id="w2")
+        assert sorted(server.uploaded_worker_ids("srv-test")) == ["w1", "w2"]
 
 
 class TestGetResults:

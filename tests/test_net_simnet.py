@@ -98,3 +98,33 @@ class TestClient:
         client.post_json("http://srv.local/echo", {"x": 1})
         assert client.requests_made == 2
         assert client.total_transfer_seconds > 0
+
+    def test_failed_exchange_still_counted(self):
+        # A refused connection consumed the participant's time: the attempt
+        # and its elapsed seconds must land in the client counters even
+        # though exchange() raised.
+        network = SimulatedNetwork()
+        network.attach(make_server())
+        network.detach("srv.local")
+        client = Client(network, get_profile("3g"))
+        with pytest.raises(NetworkError):
+            client.get("http://ghost.local/hello")
+        assert client.requests_made == 1
+        assert client.failed_requests == 1
+
+
+class TestHostCaseNormalization:
+    def test_mixed_case_host_roundtrip(self):
+        # Regression: attach() stored the host verbatim while exchange()
+        # lowercased the request host, so a server constructed with a
+        # mixed-case name was unreachable.
+        server = make_server()
+        server.host = "Example.COM"
+        network = SimulatedNetwork()
+        network.attach(server)
+        assert network.get("http://example.com/hello").ok
+        assert network.get("http://EXAMPLE.com/hello").ok
+        network.detach("eXaMpLe.CoM")
+        assert network.hosts() == []
+        with pytest.raises(NetworkError):
+            network.get("http://example.com/hello")
