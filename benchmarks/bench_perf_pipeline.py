@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.config import CampaignConfig
 from repro.experiments.fontsize import (
     MAIN_TEXT_SELECTOR,
     QUESTION,
@@ -72,8 +73,10 @@ def _fresh_campaign(
     """A prepared campaign plus its judge, in one of the two configurations."""
     experiment = FontSizeExperiment(seed=seed)
     campaign = Campaign(
-        seed=experiment.seeds.seed("crowd-campaign"),
-        artifact_cache=optimized,
+        config=CampaignConfig(
+            seed=experiment.seeds.seed("crowd-campaign"),
+            artifact_cache=optimized,
+        )
     )
     if not optimized:
         # Full brute force: re-render per visit *and* cascade without the
@@ -114,17 +117,19 @@ def _run_lossy(
     """One lossy-network campaign: seeded faults, retries, dropout."""
     experiment = FontSizeExperiment(seed=SEED)
     campaign = Campaign(
-        seed=experiment.seeds.seed("crowd-campaign"),
-        fault_plan=FaultPlan.lossy(
-            seed=SEED,
-            drop_rate=0.05,
-            timeout_rate=0.02,
-            error_rate=0.02,
-            latency_rate=0.05,
-        ),
-        retry_policy=RetryPolicy(max_attempts=4, backoff_base_seconds=0.5),
-        breaker_config=CircuitBreakerConfig(failure_threshold=6),
-        dropout_rate=0.03,
+        config=CampaignConfig(
+            seed=experiment.seeds.seed("crowd-campaign"),
+            fault_plan=FaultPlan.lossy(
+                seed=SEED,
+                drop_rate=0.05,
+                timeout_rate=0.02,
+                error_rate=0.02,
+                latency_rate=0.05,
+            ),
+            retry_policy=RetryPolicy(max_attempts=4, backoff_base_seconds=0.5),
+            breaker_config=CircuitBreakerConfig(failure_threshold=6),
+            dropout_rate=0.03,
+        )
     )
     documents = build_font_variants()
     campaign.prepare(
@@ -189,6 +194,42 @@ def run_lossy_benchmark(
         "lost_uploads": len(campaign.lost_uploads),
         "degraded_conclusion": degraded,
         "parallel_matches_sequential": deterministic,
+    }
+
+
+def run_traced_campaign(
+    participants: int,
+    parallelism: Optional[int],
+    trace_out: Path,
+) -> dict:
+    """One observed campaign: spans + metrics exported as Chrome trace JSON."""
+    experiment = FontSizeExperiment(seed=SEED)
+    campaign = Campaign(
+        config=CampaignConfig(
+            seed=experiment.seeds.seed("crowd-campaign"),
+            parallelism=parallelism,
+            observe=True,
+        )
+    )
+    documents = build_font_variants()
+    campaign.prepare(
+        build_parameters(participants),
+        documents,
+        fetcher=wikipedia_resources_for(documents.keys()),
+        main_text_selector=MAIN_TEXT_SELECTOR,
+        instructions=QUESTION.text,
+    )
+    start = time.perf_counter()
+    result = campaign.run(experiment.make_personal_judge(), reward_usd=REWARD_USD)
+    elapsed = time.perf_counter() - start
+    timeline = campaign.timeline()
+    path = timeline.write_json(trace_out)
+    root = campaign.obs.trace_root()
+    return {
+        "trace_file": str(path),
+        "observed_wall_seconds": round(elapsed, 4),
+        "span_count": root.span_count() if root is not None else 0,
+        "participants_uploaded": len(result.raw_results),
     }
 
 
@@ -286,8 +327,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="additionally run one observed campaign and write its "
+        "Chrome trace-event JSON timeline here",
+    )
     args = parser.parse_args(argv)
     report = run_pipeline_benchmark(args.participants, args.parallelism)
+    if args.trace_out is not None:
+        report["tracing"] = run_traced_campaign(
+            args.participants, args.parallelism, args.trace_out
+        )
+        base = report["optimized"]["wall_seconds"]
+        observed = report["tracing"]["observed_wall_seconds"]
+        if base:
+            report["tracing"]["overhead_vs_unobserved"] = round(
+                observed / base - 1, 4
+            )
     path = write_report(report, args.output)
     print(json.dumps(report, indent=2))
     print(f"\nreport written to {path}")

@@ -33,6 +33,8 @@ paper-versus-measured record.
 """
 
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.conclusion import Conclusion, DegradedConclusion
+from repro.core.config import CampaignConfig
 from repro.core.parameters import Question, TestParameters, WebpageSpec
 from repro.core.quality import QualityConfig, QualityControl, QualityReport
 from repro.core.aggregator import Aggregator, PreparedTest, TestWebpage
@@ -48,7 +50,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Campaign",
+    "CampaignConfig",
     "CampaignResult",
+    "Conclusion",
+    "DegradedConclusion",
     "Question",
     "TestParameters",
     "WebpageSpec",

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro.core.campaign import Campaign
+from repro.core.config import CampaignConfig
 from repro.core.extension import make_utility_judge
 from repro.core.parameters import TestParameters
 from repro.core.reporting import format_question_tally, format_table
@@ -62,7 +63,13 @@ def _prepare_campaign(args) -> Campaign:
     spec = _load_spec(args.spec)
     documents = _load_documents(spec, args.pages)
     fetcher = StaticResourceMap.from_directory(args.pages, BASE_URL)
-    campaign = Campaign(seed=args.seed)
+    observe = bool(getattr(args, "observe", False) or getattr(args, "trace_out", None))
+    config = CampaignConfig(
+        seed=args.seed,
+        parallelism=getattr(args, "parallelism", None),
+        observe=observe,
+    )
+    campaign = Campaign(config=config)
     campaign.prepare(
         spec,
         documents,
@@ -112,6 +119,11 @@ def cmd_run(args) -> int:
     print(f"Campaign {spec.test_id!r}: {result.participants} participants in "
           f"{result.duration_days * 24:.1f} h for ${result.total_cost_usd:.2f}; "
           f"quality control kept {len(result.controlled_results)}.")
+    if args.trace_out:
+        timeline = campaign.timeline()
+        timeline.write_json(args.trace_out)
+        print(f"\nTrace written to {args.trace_out}")
+        print(timeline.text_report())
     version_ids = [v for v in campaign.prepared.version_ids if v != "__contrast__"]
     for question in spec.question:
         print(f"\n{question.text}")
@@ -203,6 +215,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive",
         choices=sorted(_SCHEDULERS),
         help="use sorting-based comparison reduction (single-question tests)",
+    )
+    run.add_argument(
+        "--parallelism", type=int, default=None,
+        help="worker threads for participant simulation (default: sequential)",
+    )
+    run.add_argument(
+        "--observe", action="store_true",
+        help="record tracing spans and per-run metrics for the campaign",
+    )
+    run.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace-event JSON timeline (implies --observe)",
     )
     run.set_defaults(func=cmd_run)
 

@@ -27,6 +27,8 @@ from repro.core.analysis import (
     analyze_responses,
 )
 from repro.core.campaign import Campaign, CampaignResult
+from repro.core.conclusion import Conclusion, DegradedConclusion
+from repro.core.config import CampaignConfig
 from repro.core.btmodel import BradleyTerryFit, fit_bradley_terry, fit_from_results
 
 __all__ = [
@@ -56,5 +58,8 @@ __all__ = [
     "RankingDistribution",
     "analyze_responses",
     "Campaign",
+    "CampaignConfig",
     "CampaignResult",
+    "Conclusion",
+    "DegradedConclusion",
 ]

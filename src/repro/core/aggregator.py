@@ -39,9 +39,9 @@ from repro.html.dom import Document
 from repro.html.inliner import Inliner, InlineReport, is_self_contained
 from repro.html.mutations import set_font_size
 from repro.html.serializer import serialize
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
-from repro.util.perf import PERF
 
 TESTS_COLLECTION = "tests"
 INTEGRATED_COLLECTION = "integrated_webpages"
@@ -127,9 +127,12 @@ def version_id_from_path(web_path: str) -> str:
 class Aggregator:
     """Prepares and stores all test data for a Kaleidoscope test."""
 
-    def __init__(self, database: DocumentStore, storage: FileStore):
+    def __init__(
+        self, database: DocumentStore, storage: FileStore, metrics=None
+    ):
         self.database = database
         self.storage = storage
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
         # Index lookups by test id are the server's hot path.
         self.database.collection(TESTS_COLLECTION).create_index("test_id", unique=True)
         self.database.collection(INTEGRATED_COLLECTION).create_index("test_id")
@@ -163,7 +166,7 @@ class Aggregator:
         if existing is not None:
             raise AggregationError(f"test {parameters.test_id!r} already prepared")
 
-        with PERF.timed("aggregator.prepare"):
+        with self.metrics.timed("aggregator.prepare"):
             webpages = self._compress_webpages(parameters, documents, fetcher, base_url)
             prepared = PreparedTest(parameters=parameters, webpages=webpages)
             self._store_webpages(prepared)

@@ -7,6 +7,13 @@ crowdsourcing platform, each recruited worker runs the browser-extension
 flow (download integrated pages, answer, upload), and the conclusion step
 applies quality control and analysis. One call to :meth:`run` is one
 complete Kaleidoscope test — the unit the evaluation benchmarks drive.
+
+Configuration lives in one frozen :class:`~repro.core.config.CampaignConfig`
+(``Campaign(config=...)``); the historical per-kwarg constructor surface
+keeps working through a deprecation shim. With ``observe=True`` the campaign
+records a deterministic trace — campaign → participant → page → exchange
+spans on virtual clocks, plus a metrics registry — exportable through
+:meth:`Campaign.timeline` as Chrome trace-event JSON or a text report.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import numpy as np
 
 from repro.core.aggregator import Aggregator, PreparedTest
 from repro.core.analysis import AnalysisBundle, analyze_responses
+from repro.core.conclusion import Conclusion, DegradedConclusion
+from repro.core.config import CampaignConfig, warn_legacy_kwargs
 from repro.core.extension import BrowserExtension, JudgeFunction, ParticipantResult
 from repro.core.integrated import IntegratedWebpage
 from repro.core.parameters import TestParameters
@@ -28,15 +37,14 @@ from repro.crowd.platform import CrowdJob, CrowdPlatform
 from repro.crowd.workers import WorkerProfile
 from repro.errors import CampaignError, NetworkError, ParticipantAbandoned
 from repro.html.dom import Document
-from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.net.http import Request
 from repro.net.profiles import PROFILES, NetworkProfile
 from repro.net.simnet import Client, SimulatedNetwork
+from repro.obs import Observability, TraceClock
 from repro.render.artifacts import PageArtifactCache
 from repro.sim.clock import SECONDS_PER_DAY, SimulationEnvironment
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
-from repro.util.perf import PERF
 from repro.util.rng import coerce_rng
 
 # Participants arrive on whatever access network they have; the replay
@@ -45,69 +53,22 @@ from repro.util.rng import coerce_rng
 _PARTICIPANT_PROFILES = ("fiber", "cable", "dsl", "4g", "3g")
 _PROFILE_WEIGHTS = (0.25, 0.30, 0.15, 0.20, 0.10)
 
-
-@dataclass
-class DegradedConclusion:
-    """What a campaign that lost participants still managed to measure.
-
-    Attached to a :class:`CampaignResult` whenever participants abandoned,
-    uploads were lost, or conclusion floors were requested. ``pair_coverage``
-    maps every (question, left, right) cell to the number of decided answers
-    it received; ``coverage_fraction`` is the achieved share of the answers a
-    fully-retained roster would have produced.
-    """
-
-    recruited: int
-    uploaded: int
-    complete: int
-    abandoned: int
-    lost_uploads: List[Tuple[str, str]]  # (worker_id, reason)
-    expected_answers: int
-    pair_coverage: Dict[Tuple[str, str, str], int]
-    min_pair_coverage: int
-    coverage_fraction: float
-    min_participants: Optional[int] = None
-    quorum: Optional[float] = None
-
-    @property
-    def lost(self) -> int:
-        return len(self.lost_uploads)
-
-    @property
-    def completion_fraction(self) -> float:
-        return self.complete / self.recruited if self.recruited else 0.0
-
-    @property
-    def quorum_met(self) -> bool:
-        """True when the requested conclusion floors (if any) are satisfied."""
-        if self.min_participants is not None and self.complete < self.min_participants:
-            return False
-        if self.quorum is not None and self.completion_fraction < self.quorum:
-            return False
-        return True
-
-    def as_dict(self) -> dict:
-        """JSON-friendly form (benchmark reports, logs)."""
-        return {
-            "recruited": self.recruited,
-            "uploaded": self.uploaded,
-            "complete": self.complete,
-            "abandoned": self.abandoned,
-            "lost_uploads": [list(item) for item in self.lost_uploads],
-            "expected_answers": self.expected_answers,
-            "pair_coverage": {
-                "/".join(key): count for key, count in sorted(self.pair_coverage.items())
-            },
-            "min_pair_coverage": self.min_pair_coverage,
-            "coverage_fraction": round(self.coverage_fraction, 4),
-            "completion_fraction": round(self.completion_fraction, 4),
-            "quorum_met": self.quorum_met,
-        }
+#: Sentinel distinguishing "argument not passed" from an explicit ``None``
+#: (``parallelism=None`` legitimately means sequential mode).
+_UNSET = object()
 
 
 @dataclass
 class CampaignResult:
-    """Everything one finished campaign produced."""
+    """Everything one finished campaign produced.
+
+    ``conclusion`` is always attached: a plain :class:`~repro.core.
+    conclusion.Conclusion` for clean runs, the :class:`~repro.core.
+    conclusion.DegradedConclusion` subclass whenever participants were lost
+    or conclusion floors were requested. The historical ``degraded``
+    attribute survives as a property with its exact old contract (``None``
+    unless a degradation report was warranted).
+    """
 
     test_id: str
     raw_results: List[ParticipantResult]
@@ -117,7 +78,7 @@ class CampaignResult:
     job: Optional[CrowdJob]
     duration_days: float
     total_cost_usd: float
-    degraded: Optional[DegradedConclusion] = None
+    conclusion: Optional[Conclusion] = None
 
     @property
     def controlled_results(self) -> List[ParticipantResult]:
@@ -128,13 +89,29 @@ class CampaignResult:
         return len(self.raw_results)
 
     @property
+    def degraded(self) -> Optional[DegradedConclusion]:
+        """The degradation report, or ``None`` for a clean, floor-free run."""
+        if isinstance(self.conclusion, DegradedConclusion):
+            return self.conclusion
+        return None
+
+    @property
     def is_degraded(self) -> bool:
         """True when the campaign concluded on partial data."""
-        return self.degraded is not None and (
-            self.degraded.abandoned > 0
-            or self.degraded.lost > 0
-            or self.degraded.complete < self.degraded.recruited
-        )
+        return self.conclusion is not None and self.conclusion.is_degraded
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (CLI output, timeline metadata, reports)."""
+        return {
+            "test_id": self.test_id,
+            "participants": self.participants,
+            "kept": len(self.quality_report.kept),
+            "dropped": len(self.quality_report.dropped),
+            "duration_days": round(self.duration_days, 4),
+            "total_cost_usd": round(self.total_cost_usd, 2),
+            "degraded": self.is_degraded,
+            "conclusion": self.conclusion.to_dict() if self.conclusion else None,
+        }
 
 
 class Campaign:
@@ -149,37 +126,76 @@ class Campaign:
         platform: Optional[CrowdPlatform] = None,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
-        artifact_cache: Optional[bool] = True,
-        fault_plan: Optional[FaultPlan] = None,
-        retry_policy: Optional[RetryPolicy] = None,
-        breaker_config: Optional[CircuitBreakerConfig] = None,
-        dropout_rate: float = 0.0,
+        artifact_cache=_UNSET,
+        fault_plan=_UNSET,
+        retry_policy=_UNSET,
+        breaker_config=_UNSET,
+        dropout_rate=_UNSET,
+        config: Optional[CampaignConfig] = None,
     ):
-        """``artifact_cache`` controls participant-side page rendering:
+        """Build a campaign over (optionally shared) infrastructure.
+
+        Settings belong in ``config`` (a :class:`~repro.core.config.
+        CampaignConfig`); the individual setting kwargs (``artifact_cache``,
+        ``fault_plan``, ``retry_policy``, ``breaker_config``,
+        ``dropout_rate``) are deprecated — they still work, folded into the
+        config with a once-per-process warning.
+
+        ``config.artifact_cache`` controls participant-side page rendering:
         ``True`` (default) renders each downloaded page through a shared
-        :class:`~repro.render.artifacts.PageArtifactCache` (parse/layout/
-        replay computed once per stored page); ``False`` still renders but
-        rebuilds per visit (the brute-force baseline the perf benchmark
-        measures against); ``None`` skips rendering entirely.
+        :class:`~repro.render.artifacts.PageArtifactCache`; ``False`` still
+        renders but rebuilds per visit; ``None`` skips rendering entirely.
 
         The resilience knobs default off — with none of them set the campaign
-        is bit-identical to the fault-free pipeline. ``fault_plan`` injects
-        seeded network faults; ``retry_policy`` / ``breaker_config`` make
-        participant clients retry and trip circuits; ``dropout_rate`` lets
-        workers walk away mid-test. Any of them switches the campaign into
-        graceful-degradation mode: abandoned participants upload partial
-        results, failed uploads are recorded as losses instead of aborting
-        the run, and :meth:`conclude` reports a :class:`DegradedConclusion`.
+        is bit-identical to the fault-free pipeline; any of them switches the
+        campaign into graceful-degradation mode (see
+        :attr:`~repro.core.config.CampaignConfig.resilient`).
+
+        ``config.observe`` records a deterministic trace + metrics for the
+        run, exportable via :meth:`timeline`.
         """
+        legacy = {
+            name: value
+            for name, value in (
+                ("artifact_cache", artifact_cache),
+                ("fault_plan", fault_plan),
+                ("retry_policy", retry_policy),
+                ("breaker_config", breaker_config),
+                ("dropout_rate", dropout_rate),
+            )
+            if value is not _UNSET
+        }
+        if config is None:
+            config = CampaignConfig()
+        if legacy:
+            warn_legacy_kwargs(legacy)
+            config = config.replace(**legacy)
+        self.config = config
+        if seed is None:
+            seed = config.seed
         self.rng = coerce_rng(rng, seed)
         self.env = env if env is not None else SimulationEnvironment()
+        self.obs = (
+            Observability.enabled_for(lambda: self.env.now)
+            if config.observe
+            else Observability.disabled()
+        )
+        self.tracer = self.obs.tracer
+        self.metrics = self.obs.metrics
         self.network = (
             network
             if network is not None
-            else SimulatedNetwork(self.env, fault_plan=fault_plan)
+            else SimulatedNetwork(
+                self.env, fault_plan=config.fault_plan,
+                tracer=self.tracer, metrics=self.metrics,
+            )
         )
-        if network is not None and fault_plan is not None:
-            self.network.faults = fault_plan
+        if network is not None:
+            if config.fault_plan is not None:
+                self.network.faults = config.fault_plan
+            if self.obs.enabled:
+                self.network.tracer = self.tracer
+                self.network.metrics = self.metrics
         self.database = database if database is not None else DocumentStore()
         self.storage = storage if storage is not None else FileStore()
         self.platform = (
@@ -187,30 +203,37 @@ class Campaign:
             if platform is not None
             else CrowdPlatform(self.env, rng=self.rng)
         )
-        self.aggregator = Aggregator(self.database, self.storage)
+        self.aggregator = Aggregator(
+            self.database, self.storage, metrics=self.metrics
+        )
         self.server = CoreServer(
-            self.database, self.storage, platform=self.platform
+            self.database, self.storage, platform=self.platform,
+            config=config,
+            metrics=self.metrics if self.obs.enabled else None,
         )
         self.network.attach(self.server.http)
         self.prepared: Optional[PreparedTest] = None
-        if artifact_cache is None:
+        if config.artifact_cache is None:
             self.artifacts: Optional[PageArtifactCache] = None
         else:
-            self.artifacts = PageArtifactCache(enabled=bool(artifact_cache))
-        self.retry_policy = retry_policy
-        self.breaker_config = breaker_config
-        self.dropout_rate = float(dropout_rate)
-        self._resilient = (
-            (fault_plan is not None and not fault_plan.is_none)
-            or retry_policy is not None
-            or self.dropout_rate > 0.0
-        )
+            self.artifacts = PageArtifactCache(
+                enabled=bool(config.artifact_cache),
+                metrics=self.metrics, tracer=self.tracer,
+            )
+        self.retry_policy = config.retry_policy
+        self.breaker_config = config.breaker_config
+        self.dropout_rate = config.dropout_rate
+        self._resilient = config.resilient
         # (worker_id, reason) for every participant whose upload never landed.
         self.lost_uploads: List[Tuple[str, str]] = []
         # Entropy of the last deterministic fan-out: re-running with the same
         # value (and the same roster) resumes a crashed campaign on identical
         # RNG substreams, skipping participants whose uploads are stored.
         self.last_root_entropy: Optional[int] = None
+        # Root span of the run in progress; participant subtrees are adopted
+        # under the innermost open span from the campaign thread.
+        self._root_span = None
+        self._participant_seq = 0
 
     # -- step 1: aggregation -------------------------------------------------
 
@@ -230,14 +253,15 @@ class Campaign:
         counterbalancing against position bias.
         """
         self._randomize_orientation = randomize_orientation
-        self.prepared = self.aggregator.prepare(
-            parameters,
-            documents,
-            fetcher=fetcher,
-            main_text_selector=main_text_selector,
-            instructions=instructions,
-            mirror_pairs=randomize_orientation,
-        )
+        with self.tracer.span("prepare", category="campaign"):
+            self.prepared = self.aggregator.prepare(
+                parameters,
+                documents,
+                fetcher=fetcher,
+                main_text_selector=main_text_selector,
+                instructions=instructions,
+                mirror_pairs=randomize_orientation,
+            )
         return self.prepared
 
     # -- step 2+3: post task, recruit, run participants ---------------------------
@@ -245,15 +269,18 @@ class Campaign:
     def run(
         self,
         judge: JudgeFunction,
-        reward_usd: float = 0.10,
+        reward_usd: Optional[float] = None,
         quality_config: Optional[QualityConfig] = None,
         participants: Optional[int] = None,
-        controls_per_participant: int = 1,
-        parallelism: Optional[int] = None,
-        min_participants: Optional[int] = None,
-        quorum: Optional[float] = None,
+        controls_per_participant: Optional[int] = None,
+        parallelism=_UNSET,
+        min_participants=_UNSET,
+        quorum=_UNSET,
     ) -> CampaignResult:
         """Execute the campaign to completion and conclude the results.
+
+        Every knob defaults to the campaign's :class:`~repro.core.config.
+        CampaignConfig`; passing it here overrides the config for this call.
 
         ``parallelism=None`` (default) runs each participant inline as they
         are recruited, drawing from the campaign's single RNG stream — the
@@ -269,43 +296,47 @@ class Campaign:
         fraction of the recruited roster, :meth:`conclude` raises instead of
         silently reporting on too little data.
         """
+        cfg = self.config
+        reward_usd = cfg.reward_usd if reward_usd is None else reward_usd
+        if controls_per_participant is None:
+            controls_per_participant = cfg.controls_per_participant
+        parallelism = cfg.parallelism if parallelism is _UNSET else parallelism
+        if min_participants is _UNSET:
+            min_participants = cfg.min_participants
+        if quorum is _UNSET:
+            quorum = cfg.quorum
         prepared = self._require_prepared()
         needed = participants or prepared.parameters.participant_num
-        post = self.network.exchange(
-            Request.post_json(
-                self.server.url("/tasks"),
-                {
-                    "test_id": prepared.test_id,
-                    "participants_needed": needed,
-                    "reward_usd": reward_usd,
-                },
+        with self.tracer.span(
+            "campaign", category="campaign", test_id=prepared.test_id,
+            mode="recruited", participants=needed,
+        ) as root:
+            self._root_span = root
+            job = self._post_task(prepared, needed, reward_usd)
+            start_time = self.env.now
+
+            if parallelism is None:
+                def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+                    self._run_participant(worker, judge, controls_per_participant)
+
+                with self.tracer.span("recruitment", category="campaign"):
+                    self.platform.run_recruitment(job, on_recruit=on_recruit)
+            else:
+                roster: List[WorkerProfile] = []
+
+                def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+                    roster.append(worker)
+
+                with self.tracer.span("recruitment", category="campaign"):
+                    self.platform.run_recruitment(job, on_recruit=on_recruit)
+                self._run_participants_deterministic(
+                    roster, judge, controls_per_participant, parallelism=parallelism
+                )
+            duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
+            return self.conclude(
+                job=job, duration_days=duration_days, quality_config=quality_config,
+                min_participants=min_participants, quorum=quorum,
             )
-        )[0]
-        if not post.ok:
-            raise CampaignError(f"task post failed: {post.text}")
-        job = self.platform.get_job(post.json()["job_id"])
-        start_time = self.env.now
-
-        if parallelism is None:
-            def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
-                self._run_participant(worker, judge, controls_per_participant)
-
-            self.platform.run_recruitment(job, on_recruit=on_recruit)
-        else:
-            roster: List[WorkerProfile] = []
-
-            def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
-                roster.append(worker)
-
-            self.platform.run_recruitment(job, on_recruit=on_recruit)
-            self._run_participants_deterministic(
-                roster, judge, controls_per_participant, parallelism=parallelism
-            )
-        duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
-        return self.conclude(
-            job=job, duration_days=duration_days, quality_config=quality_config,
-            min_participants=min_participants, quorum=quorum,
-        )
 
     def run_until_significant(
         self,
@@ -315,7 +346,7 @@ class Campaign:
         alpha: float = 0.01,
         batch_size: int = 10,
         max_participants: int = 400,
-        reward_usd: float = 0.10,
+        reward_usd: Optional[float] = None,
         quality_config: Optional[QualityConfig] = None,
     ) -> CampaignResult:
         """Recruit in batches until a pair's preference reaches significance.
@@ -333,92 +364,104 @@ class Campaign:
         prepared = self._require_prepared()
         if batch_size <= 0 or max_participants <= 0:
             raise CampaignError("batch_size and max_participants must be positive")
-        post = self.network.exchange(
-            Request.post_json(
-                self.server.url("/tasks"),
-                {
-                    "test_id": prepared.test_id,
-                    "participants_needed": max_participants,
-                    "reward_usd": reward_usd,
-                },
-            )
-        )[0]
-        if not post.ok:
-            raise CampaignError(f"task post failed: {post.text}")
-        job = self.platform.get_job(post.json()["job_id"])
-        start_time = self.env.now
-        result: Optional[CampaignResult] = None
+        reward_usd = self.config.reward_usd if reward_usd is None else reward_usd
+        with self.tracer.span(
+            "campaign", category="campaign", test_id=prepared.test_id,
+            mode="sequential",
+        ) as root:
+            self._root_span = root
+            job = self._post_task(prepared, max_participants, reward_usd)
+            start_time = self.env.now
+            result: Optional[CampaignResult] = None
 
-        def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
-            self._run_participant(worker, judge, controls_per_participant=1)
+            def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+                self._run_participant(worker, judge, controls_per_participant=1)
 
-        while job.participants_recruited < max_participants:
-            target = min(
-                job.participants_recruited + batch_size, max_participants
-            )
-            saved_quota = job.participants_needed
-            job.participants_needed = target
-            self.platform.run_recruitment(job, on_recruit=on_recruit)
-            job.participants_needed = saved_quota
-            duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
-            result = self.conclude(
-                job=job, duration_days=duration_days, quality_config=quality_config
-            )
-            tally = result.controlled_analysis.tallies.get((question_id, *pair))
-            if tally is not None and tally.total >= batch_size and (
-                tally.preference_p_value() < alpha
-            ):
-                self.platform.close_job(job.job_id)
-                break
-        assert result is not None  # at least one batch ran
-        return result
+            while job.participants_recruited < max_participants:
+                target = min(
+                    job.participants_recruited + batch_size, max_participants
+                )
+                saved_quota = job.participants_needed
+                job.participants_needed = target
+                with self.tracer.span("recruitment", category="campaign"):
+                    self.platform.run_recruitment(job, on_recruit=on_recruit)
+                job.participants_needed = saved_quota
+                duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
+                result = self.conclude(
+                    job=job, duration_days=duration_days, quality_config=quality_config
+                )
+                tally = result.controlled_analysis.tallies.get((question_id, *pair))
+                if tally is not None and tally.total >= batch_size and (
+                    tally.preference_p_value() < alpha
+                ):
+                    self.platform.close_job(job.job_id)
+                    break
+            assert result is not None  # at least one batch ran
+            return result
 
     def run_with_workers(
         self,
         workers: Sequence[WorkerProfile],
         judge: JudgeFunction,
         quality_config: Optional[QualityConfig] = None,
-        controls_per_participant: int = 1,
+        controls_per_participant: Optional[int] = None,
         in_lab: bool = False,
-        parallelism: Optional[int] = None,
-        min_participants: Optional[int] = None,
-        quorum: Optional[float] = None,
-        root_entropy: Optional[int] = None,
+        parallelism=_UNSET,
+        min_participants=_UNSET,
+        quorum=_UNSET,
+        root_entropy=_UNSET,
     ) -> CampaignResult:
         """Run a fixed roster (the in-lab path, or unit-style driving).
 
         Skips platform recruitment; every worker performs the test back to
-        back on the virtual clock. ``parallelism=None`` keeps the historical
-        single-stream sequential behaviour; any integer ``parallelism >= 1``
-        gives each worker an independent RNG substream and (for levels > 1)
-        simulates them concurrently — the concluded result is identical for
-        every parallelism level at a fixed seed.
+        back on the virtual clock. Knobs default to the campaign's
+        :class:`~repro.core.config.CampaignConfig`. ``parallelism=None``
+        keeps the historical single-stream sequential behaviour; any integer
+        ``parallelism >= 1`` gives each worker an independent RNG substream
+        and (for levels > 1) simulates them concurrently — the concluded
+        result is identical for every parallelism level at a fixed seed.
 
         ``root_entropy`` (fan-out mode only) replays a previous fan-out's
         RNG substreams — pass a crashed campaign's ``last_root_entropy`` to
         resume it: workers whose uploads are already stored are skipped, the
         rest re-simulate on exactly the streams they would have had.
         """
+        cfg = self.config
+        if controls_per_participant is None:
+            controls_per_participant = cfg.controls_per_participant
+        parallelism = cfg.parallelism if parallelism is _UNSET else parallelism
+        if min_participants is _UNSET:
+            min_participants = cfg.min_participants
+        if quorum is _UNSET:
+            quorum = cfg.quorum
+        root_entropy = cfg.root_entropy if root_entropy is _UNSET else root_entropy
         prepared = self._require_prepared()
-        if parallelism is None:
-            for worker in workers:
-                self._run_participant(worker, judge, controls_per_participant, in_lab=in_lab)
-        else:
-            self._run_participants_deterministic(
-                list(workers), judge, controls_per_participant,
-                parallelism=parallelism, in_lab=in_lab,
-                root_entropy=root_entropy,
+        with self.tracer.span(
+            "campaign", category="campaign", test_id=prepared.test_id,
+            mode="roster", participants=len(workers),
+        ) as root:
+            self._root_span = root
+            if parallelism is None:
+                for worker in workers:
+                    self._run_participant(
+                        worker, judge, controls_per_participant, in_lab=in_lab
+                    )
+            else:
+                self._run_participants_deterministic(
+                    list(workers), judge, controls_per_participant,
+                    parallelism=parallelism, in_lab=in_lab,
+                    root_entropy=root_entropy,
+                )
+            return self.conclude(
+                job=None, duration_days=0.0, quality_config=quality_config,
+                min_participants=min_participants, quorum=quorum,
             )
-        return self.conclude(
-            job=None, duration_days=0.0, quality_config=quality_config,
-            min_participants=min_participants, quorum=quorum,
-        )
 
     def run_adaptive(
         self,
         judge: JudgeFunction,
         scheduler_factory,
-        reward_usd: float = 0.10,
+        reward_usd: Optional[float] = None,
         quality_config: Optional[QualityConfig] = None,
         participants: Optional[int] = None,
     ) -> CampaignResult:
@@ -435,36 +478,50 @@ class Campaign:
                 "sorting-based reduction applies only when one comparison "
                 "question is asked (§III-D)"
             )
+        reward_usd = self.config.reward_usd if reward_usd is None else reward_usd
         needed = participants or prepared.parameters.participant_num
-        post = self.network.exchange(
-            Request.post_json(
-                self.server.url("/tasks"),
-                {
-                    "test_id": prepared.test_id,
-                    "participants_needed": needed,
-                    "reward_usd": reward_usd,
-                },
+        with self.tracer.span(
+            "campaign", category="campaign", test_id=prepared.test_id,
+            mode="adaptive", participants=needed,
+        ) as root:
+            self._root_span = root
+            job = self._post_task(prepared, needed, reward_usd)
+            start_time = self.env.now
+
+            def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
+                self._run_participant(
+                    worker, judge, controls_per_participant=1,
+                    scheduler_factory=scheduler_factory,
+                )
+
+            self._adaptive_mode = True
+            try:
+                with self.tracer.span("recruitment", category="campaign"):
+                    self.platform.run_recruitment(job, on_recruit=on_recruit)
+            finally:
+                duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
+            return self.conclude(
+                job=job, duration_days=duration_days, quality_config=quality_config
             )
-        )[0]
+
+    def _post_task(
+        self, prepared: PreparedTest, needed: int, reward_usd: float
+    ) -> CrowdJob:
+        """Post the task to the platform through the core server."""
+        with self.tracer.span("post_task", category="campaign", participants=needed):
+            post = self.network.exchange(
+                Request.post_json(
+                    self.server.url("/tasks"),
+                    {
+                        "test_id": prepared.test_id,
+                        "participants_needed": needed,
+                        "reward_usd": reward_usd,
+                    },
+                )
+            )[0]
         if not post.ok:
             raise CampaignError(f"task post failed: {post.text}")
-        job = self.platform.get_job(post.json()["job_id"])
-        start_time = self.env.now
-
-        def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
-            self._run_participant(
-                worker, judge, controls_per_participant=1,
-                scheduler_factory=scheduler_factory,
-            )
-
-        self._adaptive_mode = True
-        try:
-            self.platform.run_recruitment(job, on_recruit=on_recruit)
-        finally:
-            duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
-        return self.conclude(
-            job=job, duration_days=duration_days, quality_config=quality_config
-        )
+        return self.platform.get_job(post.json()["job_id"])
 
     def _run_participant(
         self,
@@ -474,11 +531,28 @@ class Campaign:
         in_lab: bool = False,
         scheduler_factory=None,
     ) -> None:
-        result, client = self._simulate_participant(
+        index = self._participant_seq
+        self._participant_seq += 1
+        result, client, pspan = self._simulate_participant(
             worker, judge, controls_per_participant, self.rng,
             in_lab=in_lab, scheduler_factory=scheduler_factory,
+            trace_index=index,
         )
+        self._adopt(pspan)
         self._upload_result(client, worker, result)
+
+    def _adopt(self, span) -> None:
+        """Attach a finished participant subtree under the open span.
+
+        Must only be called from the campaign thread — that single rule keeps
+        child order (and every exported span id) independent of worker-thread
+        scheduling.
+        """
+        if span is None:
+            return
+        parent = self.tracer.current_span() or self._root_span
+        if parent is not None and parent is not span:
+            parent.adopt(span)
 
     def _simulate_participant(
         self,
@@ -489,7 +563,8 @@ class Campaign:
         in_lab: bool = False,
         scheduler_factory=None,
         session_start: Optional[float] = None,
-    ) -> Tuple[ParticipantResult, Client]:
+        trace_index: int = 0,
+    ):
         """One participant's full extension flow, minus the upload.
 
         All randomness comes from ``rng``: with the campaign's shared stream
@@ -498,6 +573,10 @@ class Campaign:
         what makes the parallel mode deterministic. ``session_start`` anchors
         the client's session clock (breaker cooldowns, outage windows); the
         fan-out passes the pre-fan-out time so it is thread-order free.
+
+        Returns ``(result, client, participant_span)``; the span is a
+        *detached* trace subtree (or the shared null span) that the caller
+        adopts into the campaign tree from the campaign thread.
 
         In resilient mode a :class:`~repro.errors.ParticipantAbandoned` is
         absorbed here: the partial result is marked ``abandoned`` and returned
@@ -513,56 +592,79 @@ class Campaign:
             rng=rng,
             breaker_config=self.breaker_config,
             session_start=session_start,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
-        with PERF.timed("campaign.participant"):
-            extension = BrowserExtension(
-                worker, judge, rng=rng, in_lab=in_lab,
-                download=self._make_downloader(client),
-                artifacts=self.artifacts,
-                schedule_lookup=self._schedule_for_path,
-                dropout_rate=self.dropout_rate,
-            )
-            try:
-                if scheduler_factory is None:
-                    pages = self._pages_for_participant(
-                        prepared, controls_per_participant, rng
-                    )
-                    result = extension.run_test(
-                        prepared.test_id, prepared.parameters.question, pages
-                    )
-                else:
-                    version_ids = [
-                        v for v in prepared.version_ids if v != "__contrast__"
-                    ]
-                    pages_by_pair = {
-                        frozenset((p.left_version, p.right_version)): p
-                        for p in prepared.comparison_pairs()
-                    }
-                    controls = list(prepared.control_pairs())
-                    order = rng.permutation(len(controls))
-                    chosen = [controls[i] for i in order[:controls_per_participant]]
-                    result = extension.run_adaptive_test(
-                        prepared.test_id,
-                        prepared.parameters.question[0],
-                        scheduler_factory(version_ids),
-                        pages_by_pair,
-                        control_pages=chosen,
-                    )
-            except ParticipantAbandoned as exc:
-                if not self._resilient:
-                    raise
-                result = exc.result
-                if result is None:
-                    result = ParticipantResult(
-                        test_id=prepared.test_id,
-                        worker_id=worker.worker_id,
-                        demographics=worker.demographics.as_dict(),
-                    )
-                result.abandoned = True
-                result.abandon_reason = exc.reason or "abandoned"
-                PERF.add("campaign.abandoned", 1)
-        PERF.add("campaign.participants", 1)
-        return result, client
+        trace_clock: Optional[TraceClock] = None
+        if self.obs.enabled:
+            # The participant's own virtual timeline: session transfer +
+            # backoff time (thread-order free) plus locally-accumulated
+            # page-viewing time added by the extension.
+            trace_clock = TraceClock(lambda: client.session_now)
+            client.trace_clock = trace_clock
+        with self.tracer.detached_span(
+            "participant", category="participant", clock=trace_clock,
+            track=trace_index + 1, worker_id=worker.worker_id,
+            seq=trace_index, profile=profile.name,
+        ) as pspan:
+            with self.metrics.timed("campaign.participant"):
+                extension = BrowserExtension(
+                    worker, judge, rng=rng, in_lab=in_lab,
+                    download=self._make_downloader(client),
+                    artifacts=self.artifacts,
+                    schedule_lookup=self._schedule_for_path,
+                    dropout_rate=self.dropout_rate,
+                    tracer=self.tracer,
+                    trace_clock=trace_clock,
+                    metrics=self.metrics,
+                )
+                try:
+                    if scheduler_factory is None:
+                        pages = self._pages_for_participant(
+                            prepared, controls_per_participant, rng
+                        )
+                        result = extension.run_test(
+                            prepared.test_id, prepared.parameters.question, pages
+                        )
+                    else:
+                        version_ids = [
+                            v for v in prepared.version_ids if v != "__contrast__"
+                        ]
+                        pages_by_pair = {
+                            frozenset((p.left_version, p.right_version)): p
+                            for p in prepared.comparison_pairs()
+                        }
+                        controls = list(prepared.control_pairs())
+                        order = rng.permutation(len(controls))
+                        chosen = [controls[i] for i in order[:controls_per_participant]]
+                        result = extension.run_adaptive_test(
+                            prepared.test_id,
+                            prepared.parameters.question[0],
+                            scheduler_factory(version_ids),
+                            pages_by_pair,
+                            control_pages=chosen,
+                        )
+                except ParticipantAbandoned as exc:
+                    if not self._resilient:
+                        raise
+                    result = exc.result
+                    if result is None:
+                        result = ParticipantResult(
+                            test_id=prepared.test_id,
+                            worker_id=worker.worker_id,
+                            demographics=worker.demographics.as_dict(),
+                        )
+                    result.abandoned = True
+                    result.abandon_reason = exc.reason or "abandoned"
+                    self.tracer.event("abandoned", reason=result.abandon_reason)
+                    self.metrics.add("campaign.abandoned", 1)
+            pspan.set_attr("answers", len(result.answers))
+            if self.obs.enabled:
+                self.metrics.observe(
+                    "participant.transfer_seconds", client.total_transfer_seconds
+                )
+        self.metrics.add("campaign.participants", 1)
+        return result, client, pspan
 
     def _upload_result(
         self, client: Client, worker: WorkerProfile, result: ParticipantResult
@@ -576,26 +678,37 @@ class Campaign:
         so one flaky upload degrades the conclusion instead of killing the
         whole run.
         """
-        try:
-            upload = client.post_json(self.server.url("/responses"), result.as_dict())
-        except NetworkError as exc:
-            if not self._resilient:
-                raise
-            self.lost_uploads.append(
-                (worker.worker_id, f"network:{type(exc).__name__}")
-            )
-            PERF.add("campaign.lost_uploads", 1)
-            return
-        if not upload.ok:
-            if self._resilient and upload.status >= 500:
-                self.lost_uploads.append(
-                    (worker.worker_id, f"http:{upload.status}")
+        with self.tracer.span(
+            "upload", category="net", clock=client.trace_clock,
+            worker_id=worker.worker_id,
+        ) as uspan:
+            try:
+                upload = client.post_json(
+                    self.server.url("/responses"), result.as_dict()
                 )
-                PERF.add("campaign.lost_uploads", 1)
+            except NetworkError as exc:
+                if not self._resilient:
+                    raise
+                reason = f"network:{type(exc).__name__}"
+                self.lost_uploads.append((worker.worker_id, reason))
+                self.metrics.add("campaign.lost_uploads", 1)
+                self.tracer.event("upload_lost", worker_id=worker.worker_id,
+                                  reason=reason)
+                uspan.set_attr("lost", reason)
                 return
-            raise CampaignError(
-                f"upload for {worker.worker_id} failed: {upload.text}"
-            )
+            if not upload.ok:
+                if self._resilient and upload.status >= 500:
+                    reason = f"http:{upload.status}"
+                    self.lost_uploads.append((worker.worker_id, reason))
+                    self.metrics.add("campaign.lost_uploads", 1)
+                    self.tracer.event("upload_lost", worker_id=worker.worker_id,
+                                      reason=reason)
+                    uspan.set_attr("lost", reason)
+                    return
+                raise CampaignError(
+                    f"upload for {worker.worker_id} failed: {upload.text}"
+                )
+            uspan.set_attr("status", upload.status)
 
     def _run_participants_deterministic(
         self,
@@ -614,7 +727,9 @@ class Campaign:
         the roster runs serially or across ``parallelism`` threads. Uploads
         happen from the calling thread in roster order, progressively as each
         participant's simulation completes — so a crash mid-fan-out leaves a
-        checkpoint of finished uploads on the server.
+        checkpoint of finished uploads on the server. Participant trace
+        subtrees are adopted in the same roster order, which is what makes
+        the exported timeline bit-identical at every parallelism level.
 
         ``root_entropy`` replays a previous fan-out: substreams are spawned
         from it (for *every* roster slot, keeping stream alignment), and
@@ -624,7 +739,8 @@ class Campaign:
         """
         if parallelism < 1:
             raise CampaignError(f"parallelism must be >= 1, got {parallelism}")
-        self._prewarm_artifacts()
+        with self.tracer.span("prewarm", category="campaign"):
+            self._prewarm_artifacts()
         if root_entropy is None:
             root_entropy = int(self.rng.integers(0, 2**63))
         self.last_root_entropy = root_entropy
@@ -641,25 +757,30 @@ class Campaign:
         # the same thread-order-free anchor.
         session_start = self.env.now
 
-        def simulate(index: int) -> Tuple[ParticipantResult, Client]:
+        def simulate(index: int):
             return self._simulate_participant(
                 workers[index], judge, controls_per_participant,
                 streams[index], in_lab=in_lab, session_start=session_start,
+                trace_index=index,
             )
 
-        if parallelism == 1 or len(pending) <= 1:
-            for i in pending:
-                result, client = simulate(i)
-                self._upload_result(client, workers[i], result)
-        else:
-            with PERF.timed("campaign.parallel_fanout"):
-                with ThreadPoolExecutor(max_workers=parallelism) as pool:
-                    # pool.map yields in submission order, so uploads land in
-                    # roster order while later simulations still overlap.
-                    for i, (result, client) in zip(
-                        pending, pool.map(simulate, pending)
-                    ):
-                        self._upload_result(client, workers[i], result)
+        with self.tracer.span("fanout", category="campaign",
+                              participants=len(pending)):
+            if parallelism == 1 or len(pending) <= 1:
+                for i in pending:
+                    result, client, pspan = simulate(i)
+                    self._adopt(pspan)
+                    self._upload_result(client, workers[i], result)
+            else:
+                with self.metrics.timed("campaign.parallel_fanout"):
+                    with ThreadPoolExecutor(max_workers=parallelism) as pool:
+                        # pool.map yields in submission order, so uploads land
+                        # in roster order while later simulations overlap.
+                        for i, (result, client, pspan) in zip(
+                            pending, pool.map(simulate, pending)
+                        ):
+                            self._adopt(pspan)
+                            self._upload_result(client, workers[i], result)
 
     def _make_downloader(self, client: Client):
         def download(storage_path: str) -> str:
@@ -682,7 +803,10 @@ class Campaign:
         client = Client(
             self.network, PROFILES["cable"],
             retry_policy=self.retry_policy, client_id="prewarm",
+            tracer=self.tracer, metrics=self.metrics,
         )
+        if self.obs.enabled:
+            client.trace_clock = TraceClock(lambda: client.session_now)
         download = self._make_downloader(client)
         for page in prepared.integrated:
             try:
@@ -774,11 +898,13 @@ class Campaign:
     ) -> CampaignResult:
         """Apply quality control and analysis to everything uploaded so far.
 
-        A campaign that lost participants (abandonment, lost uploads) still
-        concludes: the survivors are analyzed and the result carries a
-        :class:`DegradedConclusion` describing what was measured — including
-        per-(question, pair) answer coverage, so an under-sampled cell is
-        visible rather than silently thin.
+        The returned :class:`CampaignResult` always carries a
+        :class:`~repro.core.conclusion.Conclusion`; a campaign that lost
+        participants (abandonment, lost uploads) still concludes, with the
+        :class:`~repro.core.conclusion.DegradedConclusion` subclass
+        describing what was measured — including per-(question, pair) answer
+        coverage, so an under-sampled cell is visible rather than silently
+        thin.
 
         ``min_participants`` (absolute count of complete participants) and
         ``quorum`` (fraction of the recruited roster that completed) are
@@ -786,52 +912,57 @@ class Campaign:
         CampaignError` is raised instead of concluding on too little data.
         """
         prepared = self._require_prepared()
-        raw = self.server.stored_results(prepared.test_id)
-        if not raw:
-            raise CampaignError("no responses collected; nothing to conclude")
-        questions = len(prepared.parameters.question)
-        if getattr(self, "_adaptive_mode", False):
-            # Sorting-based reduction: any correct sort of N versions asks
-            # at least N-1 questions; completeness is that floor + control.
-            version_count = len(
-                [v for v in prepared.version_ids if v != "__contrast__"]
-            )
-            expected_answers = (version_count - 1 + 1) * questions
-        else:
-            comparisons = len(prepared.comparison_pairs())
-            # Hard-rule completeness: every comparison pair answered for
-            # every question, plus at least one control page.
-            expected_answers = (comparisons + 1) * questions
-        report = QualityControl(quality_config).apply(raw, expected_answers)
-        question_ids = [q.question_id for q in prepared.parameters.question]
-        version_ids = [
-            v for v in prepared.version_ids if v != "__contrast__"
-        ]
-        raw_analysis = analyze_responses(raw, question_ids, version_ids)
-        controlled_analysis = analyze_responses(report.kept, question_ids, version_ids)
-        abandoned = [r for r in raw if getattr(r, "abandoned", False)]
-        complete = [
-            r for r in raw
-            if not getattr(r, "abandoned", False)
-            and len(r.answers) >= expected_answers
-        ]
-        if job is not None and job.participants_recruited:
-            recruited = job.participants_recruited
-        else:
-            recruited = len(raw) + len(self.lost_uploads)
-        degraded: Optional[DegradedConclusion] = None
-        needs_report = (
-            abandoned
-            or self.lost_uploads
-            or len(complete) < recruited
-            or min_participants is not None
-            or quorum is not None
-        )
-        if needs_report:
+        with self.tracer.span("conclude", category="campaign") as cspan:
+            raw = self.server.stored_results(prepared.test_id)
+            if not raw:
+                raise CampaignError("no responses collected; nothing to conclude")
+            questions = len(prepared.parameters.question)
+            if getattr(self, "_adaptive_mode", False):
+                # Sorting-based reduction: any correct sort of N versions asks
+                # at least N-1 questions; completeness is that floor + control.
+                version_count = len(
+                    [v for v in prepared.version_ids if v != "__contrast__"]
+                )
+                expected_answers = (version_count - 1 + 1) * questions
+            else:
+                comparisons = len(prepared.comparison_pairs())
+                # Hard-rule completeness: every comparison pair answered for
+                # every question, plus at least one control page.
+                expected_answers = (comparisons + 1) * questions
+            report = QualityControl(
+                quality_config, metrics=self.metrics, tracer=self.tracer
+            ).apply(raw, expected_answers)
+            question_ids = [q.question_id for q in prepared.parameters.question]
+            version_ids = [
+                v for v in prepared.version_ids if v != "__contrast__"
+            ]
+            with self.tracer.span("analysis", category="campaign"):
+                raw_analysis = analyze_responses(raw, question_ids, version_ids)
+                controlled_analysis = analyze_responses(
+                    report.kept, question_ids, version_ids
+                )
+            abandoned = [r for r in raw if getattr(r, "abandoned", False)]
+            complete = [
+                r for r in raw
+                if not getattr(r, "abandoned", False)
+                and len(r.answers) >= expected_answers
+            ]
+            if job is not None and job.participants_recruited:
+                recruited = job.participants_recruited
+            else:
+                recruited = len(raw) + len(self.lost_uploads)
             pair_coverage = raw_analysis.answer_coverage()
             expected_total = recruited * len(pair_coverage)
             achieved = sum(pair_coverage.values())
-            degraded = DegradedConclusion(
+            needs_report = bool(
+                abandoned
+                or self.lost_uploads
+                or len(complete) < recruited
+                or min_participants is not None
+                or quorum is not None
+            )
+            conclusion_cls = DegradedConclusion if needs_report else Conclusion
+            conclusion = conclusion_cls(
                 recruited=recruited,
                 uploaded=len(raw),
                 complete=len(complete),
@@ -846,23 +977,50 @@ class Campaign:
                 min_participants=min_participants,
                 quorum=quorum,
             )
-            if not degraded.quorum_met:
+            self.metrics.set_gauge("campaign.recruited", recruited)
+            self.metrics.set_gauge("campaign.uploaded", len(raw))
+            self.metrics.set_gauge("campaign.complete", len(complete))
+            self.metrics.set_gauge(
+                "campaign.coverage_fraction", round(conclusion.coverage_fraction, 4)
+            )
+            cspan.set_attr("complete", len(complete))
+            cspan.set_attr("uploaded", len(raw))
+            cspan.set_attr("degraded", conclusion.is_degraded)
+            if not conclusion.quorum_met:
                 raise CampaignError(
                     "campaign degraded below the conclusion floor: "
-                    f"{degraded.complete}/{degraded.recruited} complete "
+                    f"{conclusion.complete}/{conclusion.recruited} complete "
                     f"(min_participants={min_participants}, quorum={quorum})"
                 )
-        return CampaignResult(
-            test_id=prepared.test_id,
-            raw_results=raw,
-            quality_report=report,
-            raw_analysis=raw_analysis,
-            controlled_analysis=controlled_analysis,
-            job=job,
-            duration_days=duration_days,
-            total_cost_usd=job.total_cost_usd if job is not None else 0.0,
-            degraded=degraded,
-        )
+            return CampaignResult(
+                test_id=prepared.test_id,
+                raw_results=raw,
+                quality_report=report,
+                raw_analysis=raw_analysis,
+                controlled_analysis=controlled_analysis,
+                job=job,
+                duration_days=duration_days,
+                total_cost_usd=job.total_cost_usd if job is not None else 0.0,
+                conclusion=conclusion,
+            )
+
+    # -- observability -----------------------------------------------------------
+
+    def timeline(self, meta: Optional[dict] = None):
+        """The recorded run as a :class:`~repro.obs.timeline.RunTimeline`.
+
+        Only available when the campaign was built with
+        ``CampaignConfig(observe=True)``.
+        """
+        if not self.obs.enabled:
+            raise CampaignError(
+                "campaign was not observed; construct it with "
+                "CampaignConfig(observe=True) to record a timeline"
+            )
+        info = {"test_id": self.prepared.test_id if self.prepared else None}
+        if meta:
+            info.update(meta)
+        return self.obs.timeline(meta=info)
 
     def _require_prepared(self) -> PreparedTest:
         if self.prepared is None:

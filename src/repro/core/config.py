@@ -1,0 +1,168 @@
+"""Unified campaign configuration: one frozen object instead of kwarg soup.
+
+The campaign entrypoints accreted knobs PR by PR — parallelism, conclusion
+floors, fault plans, retry policies, dropout, checkpoint entropy, and now
+observability. :class:`CampaignConfig` consolidates them into a single
+frozen, validated dataclass that :class:`~repro.core.campaign.Campaign`,
+:class:`~repro.core.server.CoreServer` and
+:class:`~repro.core.extension.BrowserExtension` all accept::
+
+    config = CampaignConfig(parallelism=4, min_participants=10,
+                            observe=True)
+    campaign = Campaign(config=config)
+
+Per-call method arguments (``campaign.run(parallelism=8)``) still work and
+override the config for that call; the legacy ``Campaign(...)`` constructor
+kwargs (``artifact_cache``, ``fault_plan``, ``retry_policy``,
+``breaker_config``, ``dropout_rate``) keep working through a deprecation
+shim that folds them into the config and warns once per process.
+
+The object is immutable (hashable, safely shareable between a campaign and
+its server/extension); derive variants with :meth:`CampaignConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ValidationError
+from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
+
+#: Default core-server hostname (the paper's single-server deployment).
+DEFAULT_HOST = "kaleidoscope.local"
+
+_DEPRECATION_WARNED = False
+
+
+def warn_legacy_kwargs(names) -> None:
+    """Emit the one-per-process deprecation warning for legacy kwargs."""
+    global _DEPRECATION_WARNED
+    if _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED = True
+    warnings.warn(
+        "passing campaign settings as individual kwargs "
+        f"({', '.join(sorted(names))}) is deprecated; bundle them in a "
+        "CampaignConfig and pass config=... (see README 'Migrating to "
+        "CampaignConfig')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_deprecation_warning() -> None:
+    """Test hook: re-arm the once-per-process warning."""
+    global _DEPRECATION_WARNED
+    _DEPRECATION_WARNED = False
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Every tunable of a campaign run, in one validated object.
+
+    ``None`` means "component default" throughout, so a default-constructed
+    config reproduces the historical pipeline bit-for-bit.
+    """
+
+    #: Campaign RNG seed (ignored when an explicit ``rng``/``seed`` is
+    #: passed to the :class:`~repro.core.campaign.Campaign` constructor).
+    seed: Optional[int] = None
+    #: ``None`` = legacy single-stream sequential simulation; ``n >= 1`` =
+    #: deterministic fan-out on independent RNG substreams (``n`` threads).
+    parallelism: Optional[int] = None
+    #: Conclusion floor: minimum absolute count of complete participants.
+    min_participants: Optional[int] = None
+    #: Conclusion floor: minimum completed fraction of the recruited roster.
+    quorum: Optional[float] = None
+    #: Replay a previous fan-out's RNG substreams (checkpoint/resume).
+    root_entropy: Optional[int] = None
+    #: Control pages shown per participant.
+    controls_per_participant: int = 1
+    #: Reward offered per participant when posting the task.
+    reward_usd: float = 0.10
+    #: ``True`` = shared artifact cache, ``False`` = rebuild per visit,
+    #: ``None`` = skip participant-side rendering entirely.
+    artifact_cache: Optional[bool] = True
+    #: Seeded network fault injection (drops/timeouts/5xx/latency/outages).
+    fault_plan: Optional[FaultPlan] = None
+    #: Client retry behaviour (attempts, backoff, budget).
+    retry_policy: Optional[RetryPolicy] = None
+    #: Per-host client circuit breaker.
+    breaker_config: Optional[CircuitBreakerConfig] = None
+    #: Base per-page probability a participant walks away mid-test.
+    dropout_rate: float = 0.0
+    #: Record a deterministic trace + metrics for this campaign
+    #: (``campaign.timeline()`` exports it).
+    observe: bool = False
+    #: Core-server hostname.
+    host: str = DEFAULT_HOST
+
+    def __post_init__(self):
+        if self.parallelism is not None and self.parallelism < 1:
+            raise ValidationError(
+                f"parallelism must be >= 1, got {self.parallelism}"
+            )
+        if self.min_participants is not None and self.min_participants < 0:
+            raise ValidationError("min_participants must be >= 0")
+        if self.quorum is not None and not 0.0 < self.quorum <= 1.0:
+            raise ValidationError(
+                f"quorum must be in (0, 1], got {self.quorum}"
+            )
+        if not 0.0 <= self.dropout_rate <= 1.0:
+            raise ValidationError(
+                f"dropout_rate must be in [0, 1], got {self.dropout_rate}"
+            )
+        if self.controls_per_participant < 0:
+            raise ValidationError("controls_per_participant must be >= 0")
+        if self.reward_usd < 0:
+            raise ValidationError("reward_usd must be >= 0")
+        if not self.host:
+            raise ValidationError("host must be non-empty")
+
+    # -- derivation ---------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "CampaignConfig":
+        """A new config with ``changes`` applied (the object is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def resilient(self) -> bool:
+        """True when any knob switches the campaign into degraded mode."""
+        return (
+            (self.fault_plan is not None and not self.fault_plan.is_none)
+            or self.retry_policy is not None
+            or self.dropout_rate > 0.0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (timeline metadata, reports).
+
+        Policy objects are summarized by presence/shape, not serialized.
+        """
+        return {
+            "seed": self.seed,
+            "parallelism": self.parallelism,
+            "min_participants": self.min_participants,
+            "quorum": self.quorum,
+            "root_entropy": self.root_entropy,
+            "controls_per_participant": self.controls_per_participant,
+            "reward_usd": self.reward_usd,
+            "artifact_cache": self.artifact_cache,
+            "fault_plan": (
+                None if self.fault_plan is None or self.fault_plan.is_none
+                else {"seed": self.fault_plan.seed,
+                      "rules": len(self.fault_plan.rules),
+                      "outages": len(self.fault_plan.outages)}
+            ),
+            "retry_policy": (
+                None if self.retry_policy is None
+                else {"max_attempts": self.retry_policy.max_attempts}
+            ),
+            "circuit_breaker": self.breaker_config is not None,
+            "dropout_rate": self.dropout_rate,
+            "observe": self.observe,
+            "host": self.host,
+        }

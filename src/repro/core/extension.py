@@ -35,6 +35,8 @@ from repro.crowd.behavior import BehaviorTrace, dropout_probability, sample_beha
 from repro.crowd.judgment import judge_contrast_pair, judge_identical_pair
 from repro.crowd.workers import WorkerProfile
 from repro.errors import ExtensionError, NetworkError, ParticipantAbandoned
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.util.rng import coerce_rng
 
 # judge(worker, question, left_version, right_version, rng) -> 'left'|'right'|'same'
@@ -145,7 +147,11 @@ class BrowserExtension:
         download=None,
         artifacts=None,
         schedule_lookup=None,
-        dropout_rate: float = 0.0,
+        dropout_rate: Optional[float] = None,
+        config=None,
+        tracer=None,
+        trace_clock=None,
+        metrics=None,
     ):
         """``download(storage_path) -> html`` fetches an integrated page from
         the core server; None skips the network (judgment-only simulation).
@@ -158,9 +164,17 @@ class BrowserExtension:
         ``schedule_lookup(storage_path)`` resolves a version page's injected
         replay schedule for the reveal-time computation.
 
-        ``dropout_rate`` is the base per-page probability the participant
-        walks away mid-test (scaled by worker type and attention); 0 (the
-        default) draws nothing from the RNG, keeping the historical stream.
+        ``config`` is the campaign's :class:`~repro.core.config.
+        CampaignConfig`; the extension takes its dropout rate from it unless
+        ``dropout_rate`` overrides it explicitly. ``dropout_rate`` is the
+        base per-page probability the participant walks away mid-test
+        (scaled by worker type and attention); 0 (the default) draws nothing
+        from the RNG, keeping the historical stream.
+
+        ``tracer`` / ``trace_clock`` / ``metrics`` are the campaign's
+        observability hooks: page spans and answer events are recorded
+        against the participant's own virtual clock, and each page's viewing
+        time is added to ``trace_clock``.
         """
         self.worker = worker
         self.judge = judge
@@ -169,7 +183,15 @@ class BrowserExtension:
         self.download = download
         self.artifacts = artifacts
         self.schedule_lookup = schedule_lookup
+        if dropout_rate is None:
+            dropout_rate = config.dropout_rate if config is not None else 0.0
         self.dropout_rate = float(dropout_rate)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_clock = trace_clock
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
+        # Precomputed so the per-page/per-answer hot path pays one attribute
+        # check, not a no-op call chain, when the campaign is unobserved.
+        self._observed = bool(getattr(self.tracer, "enabled", False))
         # storage_path -> PageArtifacts for every page this participant viewed.
         self.viewed = {}
 
@@ -246,50 +268,64 @@ class BrowserExtension:
         questions: Sequence[Question],
         result: ParticipantResult,
     ) -> None:
-        if self.download is not None:
-            try:
-                html = self.download(page.storage_path)
-            except NetworkError as exc:
-                # Retries (if any) are already exhausted inside the client:
-                # the participant gives up, keeping whatever they answered.
-                raise ParticipantAbandoned(
-                    f"participant {self.worker.worker_id} lost page "
-                    f"{page.integrated_id!r}: {exc}",
-                    result=result,
-                    reason=f"network:{type(exc).__name__}",
+        with self.tracer.span(
+            "page", category="page", integrated_id=page.integrated_id,
+            control=page.is_control,
+        ):
+            if self.download is not None:
+                try:
+                    html = self.download(page.storage_path)
+                except NetworkError as exc:
+                    # Retries (if any) are already exhausted inside the client:
+                    # the participant gives up, keeping whatever they answered.
+                    raise ParticipantAbandoned(
+                        f"participant {self.worker.worker_id} lost page "
+                        f"{page.integrated_id!r}: {exc}",
+                        result=result,
+                        reason=f"network:{type(exc).__name__}",
+                    )
+                if not html:
+                    raise ParticipantAbandoned(
+                        f"could not download integrated page {page.integrated_id!r}",
+                        result=result,
+                        reason="download-failed",
+                    )
+                if self.artifacts is not None:
+                    self.viewed[page.storage_path] = self.artifacts.get_or_build(
+                        page.storage_path,
+                        html,
+                        fetch=self._fetch_resource,
+                        schedule_lookup=self.schedule_lookup,
+                    )
+            trace = sample_behavior(self.worker, rng=self.rng, in_lab=self.in_lab)
+            # Participants "can revisit as many times as one wants"; distracted
+            # workers revisit more.
+            revisits = int(self.rng.poisson(0.15 + 0.6 * (1.0 - self.worker.attention)))
+            result.revisits += revisits
+            for question in questions:
+                answer = self._answer(page, question)
+                result.answers.append(
+                    Answer(
+                        integrated_id=page.integrated_id,
+                        question_id=question.question_id,
+                        answer=answer,
+                        left_version=page.left_version,
+                        right_version=page.right_version,
+                        is_control=page.is_control,
+                        behavior=trace,
+                    )
                 )
-            if not html:
-                raise ParticipantAbandoned(
-                    f"could not download integrated page {page.integrated_id!r}",
-                    result=result,
-                    reason="download-failed",
-                )
-            if self.artifacts is not None:
-                self.viewed[page.storage_path] = self.artifacts.get_or_build(
-                    page.storage_path,
-                    html,
-                    fetch=self._fetch_resource,
-                    schedule_lookup=self.schedule_lookup,
-                )
-        trace = sample_behavior(self.worker, rng=self.rng, in_lab=self.in_lab)
-        # Participants "can revisit as many times as one wants"; distracted
-        # workers revisit more.
-        revisits = int(self.rng.poisson(0.15 + 0.6 * (1.0 - self.worker.attention)))
-        result.revisits += revisits
-        for question in questions:
-            answer = self._answer(page, question)
-            result.answers.append(
-                Answer(
-                    integrated_id=page.integrated_id,
-                    question_id=question.question_id,
-                    answer=answer,
-                    left_version=page.left_version,
-                    right_version=page.right_version,
-                    is_control=page.is_control,
-                    behavior=trace,
-                )
-            )
-        result.total_minutes += trace.duration_minutes
+                if self._observed:
+                    self.tracer.event(
+                        "answer", question_id=question.question_id, answer=answer
+                    )
+            result.total_minutes += trace.duration_minutes
+            if self._observed:
+                self.metrics.observe("page.view_minutes", trace.duration_minutes)
+            if self.trace_clock is not None:
+                # Viewing time happens on the participant's private timeline;
+                # the page span (and everything after it) ends after it.
+                self.trace_clock.advance(trace.duration_minutes * 60.0)
 
     def _maybe_drop_out(self, pages_seen: int, result: ParticipantResult) -> None:
         """Seeded dropout: before each page after the first, the participant
@@ -298,6 +334,7 @@ class BrowserExtension:
             return
         probability = dropout_probability(self.worker, self.dropout_rate)
         if float(self.rng.uniform()) < probability:
+            self.tracer.event("dropout", pages_seen=pages_seen)
             raise ParticipantAbandoned(
                 f"participant {self.worker.worker_id} dropped out after "
                 f"{pages_seen} page(s)",

@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.extension import ParticipantResult
 from repro.errors import ValidationError
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.tracing import NULL_TRACER
 
 REASON_INCOMPLETE = "hard-rule:incomplete"
 REASON_ABANDONED = "hard-rule:abandoned"
@@ -81,10 +83,22 @@ class QualityReport:
 
 
 class QualityControl:
-    """Applies the configured layers to a batch of participant results."""
+    """Applies the configured layers to a batch of participant results.
 
-    def __init__(self, config: Optional[QualityConfig] = None):
+    ``metrics`` / ``tracer`` are optional observability hooks (an observed
+    campaign passes its own): each pass records kept/dropped counters (with
+    a per-reason breakdown) under a ``quality`` span.
+    """
+
+    def __init__(
+        self,
+        config: Optional[QualityConfig] = None,
+        metrics=None,
+        tracer=None,
+    ):
         self.config = config or QualityConfig()
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def apply(
         self,
@@ -93,18 +107,28 @@ class QualityControl:
     ) -> QualityReport:
         """Filter ``results``; ``expected_answers_per_page`` is the number of
         (page, question) answers a complete participant must have uploaded."""
-        report = QualityReport()
-        survivors: List[ParticipantResult] = []
-        for result in results:
-            drop = self._screen_individual(result, expected_answers_per_page)
-            if drop is not None:
-                report.dropped.append(drop)
-            else:
-                survivors.append(result)
-        if self.config.enable_majority_vote:
-            survivors = self._majority_filter(survivors, report)
-        report.kept = survivors
-        return report
+        with self.tracer.span(
+            "quality", category="campaign", participants=len(results)
+        ) as span:
+            report = QualityReport()
+            survivors: List[ParticipantResult] = []
+            for result in results:
+                drop = self._screen_individual(result, expected_answers_per_page)
+                if drop is not None:
+                    report.dropped.append(drop)
+                else:
+                    survivors.append(result)
+            if self.config.enable_majority_vote:
+                survivors = self._majority_filter(survivors, report)
+            report.kept = survivors
+            span.set_attr("kept", len(report.kept))
+            span.set_attr("dropped", len(report.dropped))
+            self.metrics.add("quality.kept", len(report.kept))
+            self.metrics.add("quality.dropped", len(report.dropped))
+            for reason, count in sorted(report.drop_reasons().items()):
+                self.metrics.add(f"quality.drop.{reason}", count)
+                self.tracer.event("quality_drop", reason=reason, count=count)
+            return report
 
     # -- layers 1-3: individual screening ----------------------------------
 

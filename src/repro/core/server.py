@@ -21,7 +21,7 @@ POST   /tasks                          post a prepared test to the crowd platfor
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.aggregator import (
     INTEGRATED_COLLECTION,
@@ -29,9 +29,11 @@ from repro.core.aggregator import (
     TESTS_COLLECTION,
 )
 from repro.core.analysis import analyze_responses
+from repro.core.config import DEFAULT_HOST
 from repro.core.extension import ParticipantResult
 from repro.errors import StorageError
 from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response, Router
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
 
@@ -43,12 +45,26 @@ class CoreServer:
         self,
         database: DocumentStore,
         storage: FileStore,
-        host: str = "kaleidoscope.local",
+        host: Optional[str] = None,
         platform=None,
+        config=None,
+        metrics=None,
     ):
+        """``config`` is the campaign's :class:`~repro.core.config.
+        CampaignConfig`; the server takes its hostname from it unless
+        ``host`` overrides it explicitly. ``metrics`` is the campaign's
+        registry for the server-side counters (uploads, dedupe hits,
+        resource reads); without an explicitly injected registry the
+        counters are skipped, keeping the per-request path free of even
+        no-op accounting."""
+        if host is None:
+            host = config.host if config is not None else DEFAULT_HOST
         self.database = database
         self.storage = storage
         self.platform = platform
+        self.config = config
+        self._counting = metrics is not None
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
         self.http = HttpServer(host, self._build_router())
 
     # -- plumbing ---------------------------------------------------------
@@ -92,6 +108,8 @@ class CoreServer:
             content = self.storage.read(path)
         except StorageError:
             return Response.not_found(path)
+        if self._counting:
+            self.metrics.add("server.resource_reads", 1)
         content_type = "text/html" if path.endswith(".html") else "text/plain"
         return Response.text_response(content, content_type)
 
@@ -116,6 +134,8 @@ class CoreServer:
                 {"test_id": result.test_id, "idempotency_key": token}
             )
             if replay is not None:
+                if self._counting:
+                    self.metrics.add("server.dedupe_hits", 1)
                 return Response.json_response(
                     {
                         "status": "stored",
@@ -128,6 +148,8 @@ class CoreServer:
             {"test_id": result.test_id, "worker_id": result.worker_id}
         )
         if duplicate is not None:
+            if self._counting:
+                self.metrics.add("server.duplicates", 1)
             return Response.json_response(
                 {"error": "duplicate submission", "worker_id": result.worker_id},
                 status=409,
@@ -136,6 +158,8 @@ class CoreServer:
         if token:
             row["idempotency_key"] = token
         responses.insert_one(row)
+        if self._counting:
+            self.metrics.add("server.uploads", 1)
         return Response.json_response(
             {"status": "stored", "worker_id": result.worker_id}, status=201
         )

@@ -38,8 +38,9 @@ from repro.net.faults import (
 )
 from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response
 from repro.net.profiles import NetworkProfile, get_profile
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.clock import SimulationEnvironment
-from repro.util.perf import PERF
 
 
 @dataclass
@@ -84,9 +85,16 @@ class SimulatedNetwork:
         self,
         env: Optional[SimulationEnvironment] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.env = env
         self.faults = fault_plan if fault_plan is not None else FaultPlan.none()
+        # Observability sinks: an observed campaign swaps in its own tracer
+        # and registry; the defaults are the shared no-op tracer and the
+        # process-global metrics, so bare networks behave exactly as before.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
         self._hosts: Dict[str, HttpServer] = {}
         self.log: List[ExchangeRecord] = []
         self.stats = TrafficStats()
@@ -256,7 +264,9 @@ class SimulatedNetwork:
                 self.stats.injected_errors += 1
             elif fault == FAULT_LATENCY:
                 self.stats.latency_spikes += 1
-            PERF.add("net.faults", 1)
+            self.metrics.add("net.faults", 1)
+            self.metrics.add(f"net.fault.{fault}", 1)
+            self.tracer.event(f"fault:{fault}", host=host, path=request.path)
         self._advance(elapsed)
         return response, elapsed
 
@@ -281,7 +291,9 @@ class SimulatedNetwork:
         self.stats.bytes_up += request.size_bytes
         self.stats.errors += 1
         self.stats.faults_injected += 1
-        PERF.add("net.faults", 1)
+        self.metrics.add("net.faults", 1)
+        self.metrics.add(f"net.fault.{kind}", 1)
+        self.tracer.event(f"fault:{kind}", host=host, path=request.path)
 
     def _advance(self, elapsed: float) -> None:
         if self.env is not None and elapsed > 0:
@@ -339,6 +351,8 @@ class Client:
         rng=None,
         breaker_config: Optional[CircuitBreakerConfig] = None,
         session_start: Optional[float] = None,
+        tracer=None,
+        metrics=None,
     ):
         self.network = network
         self.profile = profile
@@ -346,6 +360,16 @@ class Client:
         self.client_id = client_id
         self.rng = rng
         self.breaker_config = breaker_config
+        # Inherit the network's sinks unless the campaign injects its own.
+        self.tracer = tracer if tracer is not None else getattr(
+            network, "tracer", NULL_TRACER
+        )
+        self.metrics = metrics if metrics is not None else getattr(
+            network, "metrics", GLOBAL_METRICS
+        )
+        # The participant's TraceClock (session time + viewing time); set by
+        # the campaign on observed runs, used as the exchange spans' clock.
+        self.trace_clock = None
         self.total_transfer_seconds = 0.0
         self.backoff_seconds = 0.0
         self.requests_made = 0
@@ -385,26 +409,39 @@ class Client:
             attempt += 1
             breaker = self.breaker_for(host)
             if breaker is not None and not breaker.allow(self.session_now):
+                self.tracer.event("circuit_open", host=host, path=request.path)
                 raise CircuitOpenError(f"circuit open for host {host!r}")
             token = f"{self.client_id}|{seq}|{attempt}"
-            try:
-                response, elapsed = self.network.exchange(
-                    request, self.profile, now=self.session_now, fault_token=token
-                )
-            except NetworkError as exc:
-                # The failed attempt still consumed the participant's time.
-                self.requests_made += 1
-                self.total_transfer_seconds += float(
-                    getattr(exc, "elapsed_seconds", 0.0) or 0.0
-                )
-                self.failed_requests += 1
+            failure: Optional[NetworkError] = None
+            with self.tracer.span(
+                "exchange", category="net", clock=self.trace_clock,
+                method=request.method, path=request.path, attempt=attempt,
+            ) as span:
+                try:
+                    response, elapsed = self.network.exchange(
+                        request, self.profile, now=self.session_now,
+                        fault_token=token,
+                    )
+                except NetworkError as exc:
+                    # The failed attempt still consumed the participant's time.
+                    self.requests_made += 1
+                    self.total_transfer_seconds += float(
+                        getattr(exc, "elapsed_seconds", 0.0) or 0.0
+                    )
+                    self.failed_requests += 1
+                    self.metrics.add("net.failed_exchanges", 1)
+                    span.set_attr("error", type(exc).__name__)
+                    failure = exc
+                else:
+                    self.requests_made += 1
+                    self.total_transfer_seconds += elapsed
+                    span.set_attr("status", response.status)
+            if failure is not None:
                 if breaker is not None:
                     breaker.record_failure(self.session_now)
                 if retryable and self._backoff(policy, attempt):
                     continue
-                raise
-            self.requests_made += 1
-            self.total_transfer_seconds += elapsed
+                raise failure
             if response.status in policy.retry_on_status:
                 self.failed_requests += 1
                 if breaker is not None:
@@ -426,7 +463,8 @@ class Client:
         self.backoff_seconds += delay
         self.network.wait(delay)
         self.retries += 1
-        PERF.add("net.retries", 1)
+        self.metrics.add("net.retries", 1)
+        self.tracer.event("retry", attempt=attempt, delay_seconds=round(delay, 4))
         return True
 
     def get(self, url: str) -> Response:

@@ -1,0 +1,303 @@
+"""Exportable run timelines: Chrome trace-event JSON plus a text report.
+
+:class:`RunTimeline` turns one observed campaign — the finished span tree
+from :mod:`repro.obs.tracing` and the campaign's
+:class:`~repro.obs.metrics.MetricsRegistry` — into two artifacts:
+
+* **Chrome trace-event JSON** (:meth:`RunTimeline.to_trace_events`,
+  :meth:`RunTimeline.write_json`): the JSON *object format* understood by
+  ``chrome://tracing`` and Perfetto. Spans become complete (``"ph": "X"``)
+  events with microsecond virtual timestamps; span events (fault
+  injections, retries, dropouts) become instant (``"ph": "i"``) events;
+  each participant rides its own ``tid`` lane so overlapping session
+  timelines render side by side. Deterministic metric sections ride along
+  in ``otherData``.
+* **a human-readable text report** (:meth:`RunTimeline.text_report`): the
+  span tree with virtual durations, per-span event annotations, and the
+  counter/histogram tables — the "where did the time and the losses go"
+  answer at a terminal.
+
+Because every timestamp is virtual and every id hashes the span's path, the
+emitted JSON is byte-identical for a fixed seed at any parallelism level —
+a trace diff IS a behaviour diff.
+
+:func:`validate_trace_events` is the schema gate CI runs over the emitted
+artifact (``python -m repro.obs.timeline <file.json>``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, span_id
+
+#: Trace-event phases this exporter emits.
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+PHASE_METADATA = "M"
+
+_PID = 1
+
+
+def _us(seconds: float) -> int:
+    """Virtual seconds -> integer microseconds (trace-event time unit)."""
+    return int(round(seconds * 1_000_000))
+
+
+class RunTimeline:
+    """One campaign's exportable timeline."""
+
+    def __init__(
+        self,
+        root: Span,
+        metrics: Optional[Union[MetricsRegistry, dict]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        if root is None:
+            raise ValueError("RunTimeline needs a finished root span; "
+                             "was the campaign run with observe=True?")
+        self.root = root
+        if isinstance(metrics, MetricsRegistry):
+            metrics = metrics.deterministic_snapshot()
+        self.metrics: Dict[str, Any] = metrics or {}
+        self.meta: Dict[str, Any] = dict(meta or {})
+
+    # -- Chrome trace-event export -----------------------------------------
+
+    def to_trace_events(self) -> dict:
+        """The trace as a Chrome trace-event *object format* document."""
+        events: List[dict] = [
+            {
+                "ph": PHASE_METADATA,
+                "name": "process_name",
+                "pid": _PID,
+                "tid": 0,
+                "args": {"name": "kaleidoscope-campaign"},
+            }
+        ]
+        tracks: Dict[int, str] = {}
+        self._emit(self.root, parent_path="", ordinal=0, track=0,
+                   events=events, tracks=tracks)
+        track_events = [
+            {
+                "ph": PHASE_METADATA,
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": label},
+            }
+            for tid, label in sorted(tracks.items())
+        ]
+        # Metadata first, then spans/instants in deterministic DFS order.
+        return {
+            "traceEvents": events[:1] + track_events + events[1:],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "meta": self.meta,
+                "metrics": self.metrics,
+            },
+        }
+
+    def _emit(
+        self,
+        span: Span,
+        parent_path: str,
+        ordinal: int,
+        track: int,
+        events: List[dict],
+        tracks: Dict[int, str],
+    ) -> None:
+        path = f"{parent_path}/{span.name}[{ordinal}]"
+        if span.track is not None:
+            track = span.track
+        tracks.setdefault(track, self._track_label(span, track))
+        args = {str(k): v for k, v in sorted(span.attrs.items())}
+        args["span_id"] = span_id(path)
+        events.append(
+            {
+                "ph": PHASE_COMPLETE,
+                "name": span.name,
+                "cat": span.category or "span",
+                "ts": _us(span.start),
+                "dur": _us(span.duration),
+                "pid": _PID,
+                "tid": track,
+                "args": args,
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "ph": PHASE_INSTANT,
+                    "s": "t",
+                    "name": event.name,
+                    "cat": span.category or "span",
+                    "ts": _us(event.time),
+                    "pid": _PID,
+                    "tid": track,
+                    "args": {str(k): v for k, v in sorted(event.attrs.items())},
+                }
+            )
+        for index, child in enumerate(span.children):
+            self._emit(child, path, index, track, events, tracks)
+
+    @staticmethod
+    def _track_label(span: Span, track: int) -> str:
+        if track == 0:
+            return "campaign"
+        worker = span.attrs.get("worker_id")
+        return f"participant {worker}" if worker else f"track {track}"
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        """Write the trace-event document; returns the path written."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_trace_events(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # -- text report ---------------------------------------------------------
+
+    def text_report(self, max_depth: Optional[int] = None) -> str:
+        """The span tree plus metric tables, for humans at a terminal."""
+        lines: List[str] = [f"Run timeline: {self.root.name}"]
+        for key, value in sorted(self.meta.items()):
+            lines.append(f"  {key}: {value}")
+        lines.append("")
+        self._render(self.root, depth=0, max_depth=max_depth, lines=lines)
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("Counters:")
+            width = max(len(name) for name in counters)
+            for name in sorted(counters):
+                lines.append(f"  {name.ljust(width)}  {counters[name]:g}")
+        histograms = self.metrics.get("histograms", {})
+        if histograms:
+            lines.append("")
+            lines.append("Histograms (virtual seconds / sizes):")
+            for name in sorted(histograms):
+                h = histograms[name]
+                mean = h["total"] / h["count"] if h["count"] else 0.0
+                lines.append(
+                    f"  {name}: n={h['count']} mean={mean:.3f} "
+                    f"min={h['min']:.3f} max={h['max']:.3f}"
+                )
+        return "\n".join(lines)
+
+    def _render(
+        self, span: Span, depth: int, max_depth: Optional[int], lines: List[str]
+    ) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        attrs = ""
+        for key in ("worker_id", "integrated_id", "path", "test_id"):
+            if key in span.attrs:
+                attrs = f" [{span.attrs[key]}]"
+                break
+        lines.append(
+            f"{indent}{span.name}{attrs}  "
+            f"+{span.start:.3f}s ({span.duration:.3f}s virtual)"
+        )
+        for event in span.events:
+            lines.append(f"{indent}  ! {event.name} @ {event.time:.3f}s "
+                         f"{event.attrs if event.attrs else ''}".rstrip())
+        for child in span.children:
+            self._render(child, depth + 1, max_depth, lines)
+
+
+# -- schema validation (the CI gate) ----------------------------------------
+
+_REQUIRED_BY_PHASE = {
+    PHASE_COMPLETE: ("name", "ts", "dur", "pid", "tid", "cat"),
+    PHASE_INSTANT: ("name", "ts", "pid", "tid"),
+    PHASE_METADATA: ("name", "pid", "args"),
+}
+
+
+def validate_trace_events(payload: Any) -> List[str]:
+    """Check a document against the trace-event object format.
+
+    Returns a list of human-readable problems — empty means valid. Checks
+    the envelope, per-phase required fields, field types, and that complete
+    events have non-negative durations and JSON-serializable args.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["document must be a JSON object (trace-event object format)"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        required = _REQUIRED_BY_PHASE.get(phase)
+        if required is None:
+            problems.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        for field in required:
+            if field not in event:
+                problems.append(f"{where}: phase {phase!r} missing {field!r}")
+        if "ts" in event and not isinstance(event["ts"], int):
+            problems.append(f"{where}: 'ts' must be integer microseconds")
+        if phase == PHASE_COMPLETE:
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a non-negative integer")
+        if "args" in event:
+            try:
+                json.dumps(event["args"])
+            except (TypeError, ValueError):
+                problems.append(f"{where}: 'args' is not JSON-serializable")
+    return problems
+
+
+def validate_file(path: Union[str, Path]) -> List[str]:
+    """Load and validate one trace JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace file: {exc}"]
+    return [f"{path}: {problem}" for problem in validate_trace_events(payload)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Validate trace files: ``python -m repro.obs.timeline trace.json ...``"""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.timeline <trace.json> [...]",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        problems = validate_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"INVALID  {problem}", file=sys.stderr)
+        else:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            spans = sum(
+                1 for e in payload["traceEvents"] if e.get("ph") == PHASE_COMPLETE
+            )
+            print(f"OK  {path}: {len(payload['traceEvents'])} events, "
+                  f"{spans} spans")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

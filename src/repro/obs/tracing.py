@@ -1,0 +1,368 @@
+"""Nested tracing spans driven by the simulated clock.
+
+A campaign run is a tree of work: campaign → participant → integrated page →
+network exchange. :class:`Tracer` records that tree as :class:`Span` objects
+whose timestamps come from *virtual* clocks, never the wall clock — which is
+what makes a trace a deterministic artifact of the seed rather than of
+thread scheduling:
+
+* campaign-level spans read the simulation environment's clock;
+* each participant's subtree reads that participant's **session clock**
+  (session start + their own accumulated transfer, backoff and viewing
+  time), the same thread-order-free timeline the resilience layer already
+  uses for circuit breakers and outage windows.
+
+**Determinism under parallelism.** Worker threads never append to a shared
+span list. A participant subtree is built *detached* (:meth:`Tracer.
+detached_span` gives the thread a private span stack), thread-confined while
+open, and adopted into the campaign span from the calling thread in roster
+order — exactly the discipline uploads already follow. Construction order is
+therefore identical at every ``parallelism`` level, and so are the exported
+span ids, which hash the span's path in the tree.
+
+**Zero cost when off.** :data:`NULL_TRACER` is a shared no-op whose
+``span``/``detached_span`` return one preallocated null context manager and
+whose ``event`` is a single attribute check — the tracing-off pipeline stays
+within noise of the untraced baseline.
+
+Events (fault injections, retries, circuit trips, dropouts) attach to the
+innermost open span of the *current thread*, so a fault injected deep in
+:mod:`repro.net.simnet` lands on the exchange span of the client that
+suffered it without any plumbing through the call stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+ClockFunction = Callable[[], float]
+
+
+class TraceClock:
+    """A virtual clock: a base callable plus locally-accumulated extra time.
+
+    Participant timelines are ``client.session_now`` (transfer + backoff)
+    *plus* the time the participant spent viewing pages; the extension adds
+    each page's viewing duration via :meth:`advance`. The object is
+    thread-confined to one participant, so no locking is needed.
+    """
+
+    __slots__ = ("_base", "extra_seconds")
+
+    def __init__(self, base: ClockFunction, extra_seconds: float = 0.0):
+        self._base = base
+        self.extra_seconds = float(extra_seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Add locally-spent virtual time (e.g. viewing a page)."""
+        if seconds > 0:
+            self.extra_seconds += float(seconds)
+
+    def __call__(self) -> float:
+        return self._base() + self.extra_seconds
+
+
+class SpanEvent:
+    """One instantaneous, timestamped annotation on a span."""
+
+    __slots__ = ("name", "time", "attrs")
+
+    def __init__(self, name: str, time: float, attrs: Dict[str, Any]):
+        self.name = name
+        self.time = time
+        self.attrs = attrs
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "time": self.time, "attrs": dict(self.attrs)}
+
+
+class Span:
+    """One timed node of the trace tree."""
+
+    __slots__ = (
+        "name", "category", "start", "end", "attrs", "events", "children",
+        "track",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        category: str = "",
+        attrs: Optional[Dict[str, Any]] = None,
+        track: Optional[int] = None,
+    ):
+        self.name = name
+        self.category = category
+        self.start = float(start)
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.events: List[SpanEvent] = []
+        self.children: List["Span"] = []
+        #: Display lane for the timeline exporter (participants get their
+        #: roster index); children inherit the nearest ancestor's track.
+        self.track = track
+
+    # -- recording ----------------------------------------------------------
+
+    def set_attr(self, name: str, value: Any) -> None:
+        self.attrs[name] = value
+
+    def add_event(self, name: str, time: float, **attrs: Any) -> SpanEvent:
+        event = SpanEvent(name, float(time), attrs)
+        self.events.append(event)
+        return event
+
+    def finish(self, end: float) -> None:
+        self.end = float(end)
+
+    def adopt(self, child: "Span") -> "Span":
+        """Attach a finished, detached subtree under this span.
+
+        Adoption must happen from one thread (the campaign thread, in roster
+        order) — that single rule is what keeps child order, and therefore
+        every exported span id, independent of worker-thread scheduling.
+        """
+        self.children.append(child)
+        return child
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def iter(self) -> Iterator["Span"]:
+        """Depth-first walk of the subtree, self first."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find_all(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in the subtree."""
+        return [span for span in self.iter() if span.name == name]
+
+    def event_names(self) -> List[str]:
+        """Every event name in the subtree, in DFS order."""
+        names: List[str] = []
+        for span in self.iter():
+            names.extend(event.name for event in span.events)
+        return names
+
+    def signature(self) -> tuple:
+        """A hashable, order-sensitive fingerprint of the subtree.
+
+        Covers names, categories, attributes, (virtual) timestamps and
+        events — two runs of the same seed must produce equal signatures at
+        any parallelism, which the end-to-end trace test asserts.
+        """
+        return (
+            self.name,
+            self.category,
+            self.start,
+            self.end,
+            tuple(sorted((k, repr(v)) for k, v in self.attrs.items())),
+            tuple(
+                (e.name, e.time, tuple(sorted((k, repr(v)) for k, v in e.attrs.items())))
+                for e in self.events
+            ),
+            tuple(child.signature() for child in self.children),
+        )
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.iter())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, start={self.start}, end={self.end}, "
+            f"children={len(self.children)})"
+        )
+
+
+def span_id(path: str) -> str:
+    """Deterministic span id: a short hash of the span's path in the tree."""
+    return hashlib.blake2b(path.encode("utf-8"), digest_size=8).hexdigest()
+
+
+class _SpanContext:
+    """Context manager opening one span on the current thread's stack."""
+
+    __slots__ = ("_tracer", "_span", "_clock", "_detach")
+
+    def __init__(self, tracer: "Tracer", span: Span, clock: Optional[ClockFunction],
+                 detach: bool):
+        self._tracer = tracer
+        self._span = span
+        self._clock = clock
+        self._detach = detach
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span, self._clock, self._detach)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.set_attr("error", exc_type.__name__)
+        self._tracer._pop(self._span, self._detach)
+        return False
+
+
+class _ThreadState(threading.local):
+    def __init__(self):
+        # Stack of (span, clock_override) frames for the current thread.
+        self.frames: List[tuple] = []
+
+
+class Tracer:
+    """Builds the span tree for one observed campaign."""
+
+    enabled = True
+
+    def __init__(self, clock: ClockFunction):
+        self._default_clock = clock
+        self._state = _ThreadState()
+        self.roots: List[Span] = []
+
+    # -- clock resolution ---------------------------------------------------
+
+    def _clock_now(self, override: Optional[ClockFunction] = None) -> float:
+        if override is not None:
+            return override()
+        frames = self._state.frames
+        for span, clock in reversed(frames):
+            if clock is not None:
+                return clock()
+        return self._default_clock()
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        clock: Optional[ClockFunction] = None,
+        track: Optional[int] = None,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Open a span nested under the current thread's innermost span.
+
+        ``clock`` overrides the time source for this span and everything
+        opened inside it (a participant's session clock); without one the
+        nearest enclosing override — or the tracer default — applies.
+        """
+        span = Span(
+            name, self._clock_now(clock), category=category, attrs=attrs,
+            track=track,
+        )
+        return _SpanContext(self, span, clock, detach=False)
+
+    def detached_span(
+        self,
+        name: str,
+        category: str = "",
+        clock: Optional[ClockFunction] = None,
+        track: Optional[int] = None,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Open a span that is NOT attached to any parent on close.
+
+        The caller keeps the yielded span and later :meth:`Span.adopt`\\ s it
+        into the tree from a single thread — the parallel-participant
+        pattern. Inside the ``with`` body the span is the thread's innermost
+        span, so nested ``span()`` calls build its subtree normally.
+        """
+        span = Span(
+            name, self._clock_now(clock), category=category, attrs=attrs,
+            track=track,
+        )
+        return _SpanContext(self, span, clock, detach=True)
+
+    def _push(self, span: Span, clock: Optional[ClockFunction], detach: bool) -> None:
+        self._state.frames.append((span, clock))
+
+    def _pop(self, span: Span, detach: bool) -> None:
+        frames = self._state.frames
+        frame_span, frame_clock = frames.pop()
+        assert frame_span is span, "span stack corrupted"
+        span.finish(self._clock_now(frame_clock))
+        if detach:
+            return
+        if frames:
+            frames[-1][0].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- events -------------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        frames = self._state.frames
+        return frames[-1][0] if frames else None
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Annotate the current thread's innermost span (no-op outside one)."""
+        frames = self._state.frames
+        if not frames:
+            return
+        frames[-1][0].add_event(name, self._clock_now(), **attrs)
+
+    # -- results ------------------------------------------------------------
+
+    def root(self) -> Optional[Span]:
+        """The first finished root span (a campaign records exactly one)."""
+        return self.roots[0] if self.roots else None
+
+
+class _NullSpanContext:
+    """Shared no-op stand-in for both the context manager and the span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    # Span-surface no-ops, so `with tracer.span(...) as s: s.add_event(...)`
+    # costs nothing when tracing is off.
+    def set_attr(self, name: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, time: float = 0.0, **attrs: Any) -> None:
+        pass
+
+    def adopt(self, child: Any) -> Any:
+        return child
+
+    def finish(self, end: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """The tracing-off tracer: every operation is a preallocated no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **kwargs: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def detached_span(self, name: str, **kwargs: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def current_span(self) -> None:
+        return None
+
+    def root(self) -> None:
+        return None
+
+
+#: Shared inert tracer used wherever observability is not requested.
+NULL_TRACER = NullTracer()

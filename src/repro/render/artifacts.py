@@ -38,9 +38,10 @@ import numpy as np
 from repro.html.dom import Document
 from repro.html.parser import parse_html
 from repro.render.box import DEFAULT_VIEWPORT, Viewport
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.tracing import NULL_TRACER
 from repro.render.layout import LayoutEngine, LayoutResult
 from repro.render.replay import RevealSchedule, compute_reveal_times
-from repro.util.perf import PERF
 
 # The iframe ids the integrated-page composer assigns (repro.core.integrated);
 # duplicated here as plain strings to keep render/ independent of core/.
@@ -105,12 +106,16 @@ class PageArtifactCache:
         viewport: Viewport = DEFAULT_VIEWPORT,
         enabled: bool = True,
         use_style_index: bool = True,
+        metrics=None,
+        tracer=None,
     ):
         self.viewport = viewport
         self.enabled = enabled
         self.use_style_index = use_style_index
         self.hits = 0
         self.misses = 0
+        self.metrics = metrics if metrics is not None else GLOBAL_METRICS
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._lock = threading.Lock()
         self._entries: Dict[Tuple[str, str], PageArtifacts] = {}
 
@@ -139,12 +144,17 @@ class PageArtifactCache:
                 entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
-                PERF.add("artifacts.hits", 1)
+                self.metrics.add("artifacts.hits", 1)
                 return entry
         self.misses += 1
-        PERF.add("artifacts.misses", 1)
-        with PERF.timed("artifacts.build"):
-            entry = self._build(storage_path, html, digest, fetch, schedule_lookup)
+        self.metrics.add("artifacts.misses", 1)
+        with self.metrics.timed("artifacts.build"):
+            with self.tracer.span(
+                "artifact_build", category="render", path=storage_path
+            ):
+                entry = self._build(
+                    storage_path, html, digest, fetch, schedule_lookup
+                )
         if self.enabled:
             with self._lock:
                 self._entries[key] = entry

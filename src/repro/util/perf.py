@@ -1,105 +1,25 @@
-"""Lightweight performance instrumentation: named counters and timers.
+"""Legacy performance-instrumentation surface (superseded by ``repro.obs``).
 
-The campaign pipeline spans many layers (aggregation, cascade, layout,
-replay, participant simulation); knowing *where* the time goes requires
-counters that survive across those layers without threading a context object
-through every call. This module provides a process-global
-:class:`PerfRegistry` (``PERF``) with:
+Historically this module owned a hand-rolled ``PerfRegistry`` of counters
+and timers. The observability layer absorbed it: :class:`~repro.obs.metrics.
+MetricsRegistry` implements the full legacy surface (``add`` / ``counter`` /
+``timed`` / ``timer_seconds`` / ``timer_calls`` / ``snapshot`` / ``reset``)
+plus gauges, histograms and exception-safe timers — a raising ``timed``
+block now records its elapsed time, increments ``<name>.errors`` and never
+leaks an open timer (the old context manager could leave one dangling).
 
-* **counters** — monotonically increasing named integers
-  (``PERF.add("cascade.candidates", 12)``);
-* **timers** — accumulated wall-clock per name with call counts, used as a
-  context manager (``with PERF.timed("layout.pass"): ...``).
+``PERF`` is the process-global default registry, shared with
+``repro.obs.metrics.GLOBAL_METRICS``: components that are not handed a
+campaign-scoped registry keep reporting here exactly as before, so every
+historical call site and benchmark snapshot works unchanged.
 
-All operations are thread-safe (the parallel participant mode touches the
-registry from worker threads) and cheap enough for per-call hot-path use:
-one lock acquisition and a dict update. ``benchmarks/bench_perf_pipeline.py``
-snapshots the registry to report where a campaign spends its time.
-
-The registry is observational only: nothing in the pipeline reads it back,
-so resetting or ignoring it never changes results.
+New code should import from :mod:`repro.obs.metrics` directly; this module
+remains as a compatibility alias.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from repro.obs.metrics import GLOBAL_METRICS as PERF
+from repro.obs.metrics import MetricsRegistry as PerfRegistry
 
-
-class PerfRegistry:
-    """Thread-safe named counters and accumulated timers."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counters: Dict[str, float] = {}
-        # name -> [accumulated_seconds, calls]
-        self._timers: Dict[str, list] = {}
-
-    # -- counters -----------------------------------------------------------
-
-    def add(self, name: str, amount: float = 1) -> None:
-        """Increment counter ``name`` by ``amount``."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def counter(self, name: str) -> float:
-        """Current value of counter ``name`` (0 when never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    # -- timers -------------------------------------------------------------
-
-    @contextmanager
-    def timed(self, name: str) -> Iterator[None]:
-        """Accumulate the wall-clock time of the ``with`` body under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            with self._lock:
-                entry = self._timers.setdefault(name, [0.0, 0])
-                entry[0] += elapsed
-                entry[1] += 1
-
-    def timer_seconds(self, name: str) -> float:
-        """Accumulated seconds under timer ``name`` (0.0 when never used)."""
-        with self._lock:
-            entry = self._timers.get(name)
-            return entry[0] if entry else 0.0
-
-    def timer_calls(self, name: str) -> int:
-        """Number of completed ``timed`` blocks under ``name``."""
-        with self._lock:
-            entry = self._timers.get(name)
-            return entry[1] if entry else 0
-
-    # -- lifecycle ----------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """A JSON-ready copy: ``{"counters": {...}, "timers": {...}}``."""
-        with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "timers": {
-                    name: {"seconds": entry[0], "calls": entry[1]}
-                    for name, entry in self._timers.items()
-                },
-            }
-
-    def reset(self, prefix: Optional[str] = None) -> None:
-        """Clear all counters and timers (or only those under ``prefix``)."""
-        with self._lock:
-            if prefix is None:
-                self._counters.clear()
-                self._timers.clear()
-                return
-            for store in (self._counters, self._timers):
-                for name in [n for n in store if n.startswith(prefix)]:
-                    del store[name]
-
-
-#: The process-global registry the pipeline reports into.
-PERF = PerfRegistry()
+__all__ = ["PERF", "PerfRegistry"]

@@ -129,6 +129,30 @@ class TestRun:
         assert code == 0
         assert "participants" in capsys.readouterr().out
 
+    def test_trace_out_writes_valid_timeline(self, workspace, capsys):
+        from repro.obs.timeline import validate_trace_events
+
+        trace_path = workspace / "timeline.json"
+        code = main(
+            [
+                "run",
+                str(workspace / "spec.json"),
+                str(workspace / "pages"),
+                "--seed",
+                "6",
+                "--parallelism",
+                "2",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Trace written to" in out
+        assert "campaign" in out  # text report follows
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert validate_trace_events(payload) == []
+
     def test_incomplete_utilities_rejected(self, workspace, capsys):
         partial = workspace / "partial.json"
         partial.write_text(json.dumps({"va": 0.5}))

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.abtest",
     "repro.baselines",
     "repro.experiments",
+    "repro.obs",
     "repro.util",
 ]
 
