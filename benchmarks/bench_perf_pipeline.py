@@ -57,6 +57,7 @@ from repro.experiments.fontsize import (
 )
 from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.render.artifacts import PageArtifactCache
+from repro.util.executors import available_cpus, resolve_chunk_size
 from repro.util.perf import PERF
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -261,6 +262,11 @@ def run_pipeline_benchmark(
             "participants": participants,
             "parallelism": parallelism,
             "seed": SEED,
+            # Execution environment: the numbers below are wall-clock, so
+            # they are only comparable for a known core count and executor.
+            "cpu_count": available_cpus(),
+            "executor": "thread",
+            "chunk_size": resolve_chunk_size(participants, parallelism),
         },
         "baseline": {
             "description": "uncached rendering, brute-force cascade, sequential",

@@ -29,6 +29,7 @@ from repro.core.analysis import AnalysisBundle, analyze_responses
 from repro.core.conclusion import Conclusion, DegradedConclusion
 from repro.core.config import CampaignConfig, warn_legacy_kwargs
 from repro.core.extension import BrowserExtension, JudgeFunction, ParticipantResult
+from repro.core.fanout import run_process_fanout
 from repro.core.integrated import IntegratedWebpage
 from repro.core.parameters import TestParameters
 from repro.core.quality import QualityConfig, QualityControl, QualityReport
@@ -45,6 +46,12 @@ from repro.render.artifacts import PageArtifactCache
 from repro.sim.clock import SECONDS_PER_DAY, SimulationEnvironment
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
+from repro.util.executors import (
+    EXECUTOR_PROCESS,
+    EXECUTOR_SERIAL,
+    effective_pool_size,
+    validate_executor_mode,
+)
 from repro.util.rng import coerce_rng
 
 # Participants arrive on whatever access network they have; the replay
@@ -234,6 +241,10 @@ class Campaign:
         # under the innermost open span from the campaign thread.
         self._root_span = None
         self._participant_seq = 0
+        # Worker count the last fan-out actually used (after capping at the
+        # pending roster size). Plain attribute, not a gauge: gauges land in
+        # deterministic_snapshot(), which must not vary with pool size.
+        self._last_fanout_pool: Optional[int] = None
 
     # -- step 1: aggregation -------------------------------------------------
 
@@ -274,6 +285,7 @@ class Campaign:
         participants: Optional[int] = None,
         controls_per_participant: Optional[int] = None,
         parallelism=_UNSET,
+        executor=_UNSET,
         min_participants=_UNSET,
         quorum=_UNSET,
     ) -> CampaignResult:
@@ -291,6 +303,13 @@ class Campaign:
         order — so the concluded result is bit-identical for every
         parallelism level, and levels > 1 run participants concurrently.
 
+        ``executor`` picks the fan-out backend (fan-out mode only;
+        the inline ``parallelism=None`` path ignores it): ``"serial"``
+        forces the in-thread loop, ``"thread"`` (default) overlaps
+        participants on a thread pool, ``"process"`` fans chunks of
+        participants out to worker processes — the GIL-free backend. All
+        three conclude bit-identically at a fixed seed.
+
         ``min_participants`` / ``quorum`` are conclusion floors: when the
         surviving complete participants fall below the absolute count or the
         fraction of the recruited roster, :meth:`conclude` raises instead of
@@ -301,6 +320,7 @@ class Campaign:
         if controls_per_participant is None:
             controls_per_participant = cfg.controls_per_participant
         parallelism = cfg.parallelism if parallelism is _UNSET else parallelism
+        executor = cfg.executor if executor is _UNSET else executor
         if min_participants is _UNSET:
             min_participants = cfg.min_participants
         if quorum is _UNSET:
@@ -330,7 +350,8 @@ class Campaign:
                 with self.tracer.span("recruitment", category="campaign"):
                     self.platform.run_recruitment(job, on_recruit=on_recruit)
                 self._run_participants_deterministic(
-                    roster, judge, controls_per_participant, parallelism=parallelism
+                    roster, judge, controls_per_participant,
+                    parallelism=parallelism, executor=executor,
                 )
             duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
             return self.conclude(
@@ -407,6 +428,7 @@ class Campaign:
         controls_per_participant: Optional[int] = None,
         in_lab: bool = False,
         parallelism=_UNSET,
+        executor=_UNSET,
         min_participants=_UNSET,
         quorum=_UNSET,
         root_entropy=_UNSET,
@@ -420,6 +442,8 @@ class Campaign:
         ``parallelism >= 1`` gives each worker an independent RNG substream
         and (for levels > 1) simulates them concurrently — the concluded
         result is identical for every parallelism level at a fixed seed.
+        ``executor`` picks the fan-out backend (``"serial"`` / ``"thread"``
+        / ``"process"``); see :meth:`run`.
 
         ``root_entropy`` (fan-out mode only) replays a previous fan-out's
         RNG substreams — pass a crashed campaign's ``last_root_entropy`` to
@@ -430,6 +454,7 @@ class Campaign:
         if controls_per_participant is None:
             controls_per_participant = cfg.controls_per_participant
         parallelism = cfg.parallelism if parallelism is _UNSET else parallelism
+        executor = cfg.executor if executor is _UNSET else executor
         if min_participants is _UNSET:
             min_participants = cfg.min_participants
         if quorum is _UNSET:
@@ -449,7 +474,7 @@ class Campaign:
             else:
                 self._run_participants_deterministic(
                     list(workers), judge, controls_per_participant,
-                    parallelism=parallelism, in_lab=in_lab,
+                    parallelism=parallelism, executor=executor, in_lab=in_lab,
                     root_entropy=root_entropy,
                 )
             return self.conclude(
@@ -667,8 +692,12 @@ class Campaign:
         return result, client, pspan
 
     def _upload_result(
-        self, client: Client, worker: WorkerProfile, result: ParticipantResult
-    ) -> None:
+        self,
+        client: Client,
+        worker: WorkerProfile,
+        result: ParticipantResult,
+        detached: bool = False,
+    ):
         """Upload one participant's result through their own client.
 
         Non-resilient campaigns keep the historical contract: any failure is
@@ -677,8 +706,15 @@ class Campaign:
         loss — ``(worker_id, reason)`` in :attr:`lost_uploads` — and move on,
         so one flaky upload degrades the conclusion instead of killing the
         whole run.
+
+        Returns ``(upload_span, lost_reason)``; ``lost_reason`` is ``None``
+        on success. ``detached=True`` (the process fan-out) records the
+        upload span as a detached subtree for the parent to adopt, and
+        leaves :attr:`lost_uploads` untouched — the merge records the loss
+        on the parent campaign instead.
         """
-        with self.tracer.span(
+        opener = self.tracer.detached_span if detached else self.tracer.span
+        with opener(
             "upload", category="net", clock=client.trace_clock,
             worker_id=worker.worker_id,
         ) as uspan:
@@ -690,25 +726,28 @@ class Campaign:
                 if not self._resilient:
                     raise
                 reason = f"network:{type(exc).__name__}"
-                self.lost_uploads.append((worker.worker_id, reason))
+                if not detached:
+                    self.lost_uploads.append((worker.worker_id, reason))
                 self.metrics.add("campaign.lost_uploads", 1)
                 self.tracer.event("upload_lost", worker_id=worker.worker_id,
                                   reason=reason)
                 uspan.set_attr("lost", reason)
-                return
+                return uspan, reason
             if not upload.ok:
                 if self._resilient and upload.status >= 500:
                     reason = f"http:{upload.status}"
-                    self.lost_uploads.append((worker.worker_id, reason))
+                    if not detached:
+                        self.lost_uploads.append((worker.worker_id, reason))
                     self.metrics.add("campaign.lost_uploads", 1)
                     self.tracer.event("upload_lost", worker_id=worker.worker_id,
                                       reason=reason)
                     uspan.set_attr("lost", reason)
-                    return
+                    return uspan, reason
                 raise CampaignError(
                     f"upload for {worker.worker_id} failed: {upload.text}"
                 )
             uspan.set_attr("status", upload.status)
+        return uspan, None
 
     def _run_participants_deterministic(
         self,
@@ -716,6 +755,7 @@ class Campaign:
         judge: JudgeFunction,
         controls_per_participant: int,
         parallelism: int,
+        executor: str = "thread",
         in_lab: bool = False,
         root_entropy: Optional[int] = None,
     ) -> None:
@@ -731,6 +771,14 @@ class Campaign:
         subtrees are adopted in the same roster order, which is what makes
         the exported timeline bit-identical at every parallelism level.
 
+        ``executor`` selects the backend: ``"serial"`` always runs the
+        inline loop; ``"thread"`` overlaps participants on a thread pool;
+        ``"process"`` chunks them across worker processes (see
+        :mod:`repro.core.fanout`). The pool is capped at the pending roster
+        size — idle workers are never spawned — and the capped size is
+        recorded in :attr:`_last_fanout_pool`. In process mode the crash
+        checkpoint is chunk-granular rather than participant-granular.
+
         ``root_entropy`` replays a previous fan-out: substreams are spawned
         from it (for *every* roster slot, keeping stream alignment), and
         workers whose uploads the server already stores are skipped — the
@@ -739,6 +787,7 @@ class Campaign:
         """
         if parallelism < 1:
             raise CampaignError(f"parallelism must be >= 1, got {parallelism}")
+        executor = validate_executor_mode(executor)
         with self.tracer.span("prewarm", category="campaign"):
             self._prewarm_artifacts()
         if root_entropy is None:
@@ -764,16 +813,32 @@ class Campaign:
                 trace_index=index,
             )
 
+        # Never spawn more workers than there are pending participants.
+        pool_size = effective_pool_size(parallelism, len(pending))
+        self._last_fanout_pool = pool_size
         with self.tracer.span("fanout", category="campaign",
                               participants=len(pending)):
-            if parallelism == 1 or len(pending) <= 1:
+            if (
+                executor == EXECUTOR_SERIAL
+                or pool_size == 1
+                or len(pending) <= 1
+            ):
                 for i in pending:
                     result, client, pspan = simulate(i)
                     self._adopt(pspan)
                     self._upload_result(client, workers[i], result)
+            elif executor == EXECUTOR_PROCESS:
+                with self.metrics.timed("campaign.parallel_fanout"):
+                    run_process_fanout(
+                        self, workers, judge, controls_per_participant,
+                        pending, pool_size,
+                        session_start=session_start,
+                        root_entropy=root_entropy,
+                        in_lab=in_lab,
+                    )
             else:
                 with self.metrics.timed("campaign.parallel_fanout"):
-                    with ThreadPoolExecutor(max_workers=parallelism) as pool:
+                    with ThreadPoolExecutor(max_workers=pool_size) as pool:
                         # pool.map yields in submission order, so uploads land
                         # in roster order while later simulations overlap.
                         for i, (result, client, pspan) in zip(

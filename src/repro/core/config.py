@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import ValidationError
 from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
+from repro.util.executors import EXECUTOR_MODES
 
 #: Default core-server hostname (the paper's single-server deployment).
 DEFAULT_HOST = "kaleidoscope.local"
@@ -94,6 +95,14 @@ class CampaignConfig:
     breaker_config: Optional[CircuitBreakerConfig] = None
     #: Base per-page probability a participant walks away mid-test.
     dropout_rate: float = 0.0
+    #: Fan-out executor (only meaningful with ``parallelism >= 1``):
+    #: ``"serial"`` runs the roster inline, ``"thread"`` (default) uses a
+    #: thread pool, ``"process"`` a process pool. All three conclude
+    #: bit-identically for a fixed seed.
+    executor: str = "thread"
+    #: Participants per process-pool task (amortizes spawn + pickle
+    #: overhead); ``None`` picks ``ceil(pending / (workers * 4))``.
+    chunk_size: Optional[int] = None
     #: Record a deterministic trace + metrics for this campaign
     #: (``campaign.timeline()`` exports it).
     observe: bool = False
@@ -117,6 +126,14 @@ class CampaignConfig:
             )
         if self.controls_per_participant < 0:
             raise ValidationError("controls_per_participant must be >= 0")
+        if self.executor not in EXECUTOR_MODES:
+            raise ValidationError(
+                f"executor must be one of {EXECUTOR_MODES}, got {self.executor!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValidationError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
         if self.reward_usd < 0:
             raise ValidationError("reward_usd must be >= 0")
         if not self.host:
@@ -163,6 +180,8 @@ class CampaignConfig:
             ),
             "circuit_breaker": self.breaker_config is not None,
             "dropout_rate": self.dropout_rate,
+            "executor": self.executor,
+            "chunk_size": self.chunk_size,
             "observe": self.observe,
             "host": self.host,
         }

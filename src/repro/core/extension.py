@@ -364,37 +364,61 @@ class BrowserExtension:
         return answer
 
 
+class UtilityJudge:
+    """A judge for style questions: versions carry latent utilities and a
+    :class:`~repro.crowd.judgment.ThurstoneChoiceModel` decides.
+
+    Implemented as a callable class (not a closure) so the judge is
+    picklable — the process-pool fan-out ships it to worker processes.
+    """
+
+    def __init__(
+        self, utilities: Dict[str, float], choice_model, side_by_side: bool = True
+    ):
+        self.utilities = dict(utilities)
+        self.choice_model = choice_model
+        self.side_by_side = side_by_side
+
+    def __call__(self, worker, question, left_version, right_version, rng) -> str:
+        return self.choice_model.choose(
+            self.utilities[left_version],
+            self.utilities[right_version],
+            worker,
+            rng=rng,
+            side_by_side=self.side_by_side,
+        )
+
+
+class UPLTJudge:
+    """A judge for "ready to use first" questions: versions carry
+    ``{'main': ms, 'auxiliary': ms}`` reveal times and a
+    :class:`~repro.crowd.judgment.UPLTPerceptionModel` decides.
+
+    Picklable for the same reason as :class:`UtilityJudge`.
+    """
+
+    def __init__(self, region_times: Dict[str, Dict[str, float]], perception_model):
+        self.region_times = {k: dict(v) for k, v in region_times.items()}
+        self.perception_model = perception_model
+
+    def __call__(self, worker, question, left_version, right_version, rng) -> str:
+        return self.perception_model.choose_faster(
+            self.region_times[left_version],
+            self.region_times[right_version],
+            worker,
+            rng=rng,
+        )
+
+
 def make_utility_judge(
     utilities: Dict[str, float], choice_model, side_by_side: bool = True
 ) -> JudgeFunction:
-    """A judge for style questions: versions carry latent utilities and a
-    :class:`~repro.crowd.judgment.ThurstoneChoiceModel` decides."""
-
-    def judge(worker, question, left_version, right_version, rng):
-        return choice_model.choose(
-            utilities[left_version],
-            utilities[right_version],
-            worker,
-            rng=rng,
-            side_by_side=side_by_side,
-        )
-
-    return judge
+    """A picklable utility-based judge (see :class:`UtilityJudge`)."""
+    return UtilityJudge(utilities, choice_model, side_by_side=side_by_side)
 
 
 def make_uplt_judge(
     region_times: Dict[str, Dict[str, float]], perception_model
 ) -> JudgeFunction:
-    """A judge for "ready to use first" questions: versions carry
-    ``{'main': ms, 'auxiliary': ms}`` reveal times and a
-    :class:`~repro.crowd.judgment.UPLTPerceptionModel` decides."""
-
-    def judge(worker, question, left_version, right_version, rng):
-        return perception_model.choose_faster(
-            region_times[left_version],
-            region_times[right_version],
-            worker,
-            rng=rng,
-        )
-
-    return judge
+    """A picklable uPLT judge (see :class:`UPLTJudge`)."""
+    return UPLTJudge(region_times, perception_model)

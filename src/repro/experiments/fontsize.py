@@ -117,6 +117,57 @@ class FontSizeOutcome:
 PERSONAL_PEAK_LOG_SIGMA = 0.11
 
 
+class PersonalFontJudge:
+    """Per-worker readability heterogeneity as a picklable callable.
+
+    A worker's personal model is a pure function of ``(hetero_seed,
+    worker_id)``, so rebuilding the per-worker cache in another process
+    yields exactly the same models — what makes this judge safe to ship to
+    the process-pool fan-out. The cache itself is dropped from the pickle:
+    it is only memoization.
+    """
+
+    def __init__(self, base: FontReadabilityModel, hetero_seed: int, choice_model):
+        self.base = base
+        self.hetero_seed = int(hetero_seed)
+        self.choice_model = choice_model
+        self.size_of = {version_id_for(size): float(size) for size in FONT_SIZES_PT}
+        self._models: Dict[str, FontReadabilityModel] = {}
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_models"] = {}
+        return state
+
+    def _model_for(self, worker_id: str) -> FontReadabilityModel:
+        import numpy as np
+
+        from repro.util.rng import derive_rng
+
+        model = self._models.get(worker_id)
+        if model is None:
+            rng = derive_rng(self.hetero_seed, worker_id)
+            peak = float(
+                self.base.peak_pt * np.exp(rng.normal(0.0, PERSONAL_PEAK_LOG_SIGMA))
+            )
+            model = FontReadabilityModel(
+                peak_pt=peak,
+                width=self.base.width,
+                small_penalty=self.base.small_penalty,
+            )
+            self._models[worker_id] = model
+        return model
+
+    def __call__(self, worker, question, left_version, right_version, rng) -> str:
+        model = self._model_for(worker.worker_id)
+        return self.choice_model.choose(
+            model.utility(self.size_of[left_version]),
+            model.utility(self.size_of[right_version]),
+            worker,
+            rng=rng,
+        )
+
+
 class FontSizeExperiment:
     """Runs the full §IV-A comparison."""
 
@@ -132,45 +183,19 @@ class FontSizeExperiment:
             for size in FONT_SIZES_PT
         }
 
-    def make_personal_judge(self):
+    def make_personal_judge(self) -> "PersonalFontJudge":
         """A judge with per-worker preference heterogeneity.
 
         Each worker gets a personal readability curve (peak drawn once per
         worker); their pairwise answers then come from the Thurstone model
-        over *their* utilities.
+        over *their* utilities. The judge is a picklable
+        :class:`PersonalFontJudge`, so it survives the process-pool fan-out.
         """
-        import numpy as np
-
-        from repro.crowd.judgment import FontReadabilityModel as _Model
-        from repro.util.rng import derive_rng
-
-        base_peak = self.readability.peak_pt
-        hetero_seed = self.seeds.seed("personal-peaks")
-        personal_models: Dict[str, _Model] = {}
-
-        def model_for(worker_id: str) -> _Model:
-            if worker_id not in personal_models:
-                rng = derive_rng(hetero_seed, worker_id)
-                peak = float(base_peak * np.exp(rng.normal(0.0, PERSONAL_PEAK_LOG_SIGMA)))
-                personal_models[worker_id] = _Model(
-                    peak_pt=peak,
-                    width=self.readability.width,
-                    small_penalty=self.readability.small_penalty,
-                )
-            return personal_models[worker_id]
-
-        size_of = {version_id_for(size): float(size) for size in FONT_SIZES_PT}
-
-        def judge(worker, question, left_version, right_version, rng):
-            model = model_for(worker.worker_id)
-            return self.choice_model.choose(
-                model.utility(size_of[left_version]),
-                model.utility(size_of[right_version]),
-                worker,
-                rng=rng,
-            )
-
-        return judge
+        return PersonalFontJudge(
+            base=self.readability,
+            hetero_seed=self.seeds.seed("personal-peaks"),
+            choice_model=self.choice_model,
+        )
 
     # -- arms -------------------------------------------------------------
 

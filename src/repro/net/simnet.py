@@ -19,6 +19,7 @@ top.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -76,6 +77,12 @@ class TrafficStats:
     timeouts: int = 0
     injected_errors: int = 0
     latency_spikes: int = 0
+
+    def merge(self, other: "TrafficStats") -> None:
+        """Fold another network's counters into this one (pure sums, so the
+        merge is commutative — chunk order cannot change the totals)."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 class SimulatedNetwork:

@@ -228,6 +228,60 @@ class MetricsRegistry:
             "histograms": snap["histograms"],
         }
 
+    # -- cross-process merge --------------------------------------------------
+
+    def export_state(self) -> dict:
+        """A picklable, *exact* copy of every section.
+
+        Unlike :meth:`snapshot`, histogram totals stay :class:`~fractions.
+        Fraction` — the process fan-out ships each chunk's registry back to
+        the parent, and converting to float before the merge would reorder
+        the float additions and break bit-identicality with the serial run.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                # [count, Fraction total, min, max] — exact rationals survive
+                # the pickle round trip.
+                "histograms": {
+                    name: list(entry) for name, entry in self._histograms.items()
+                },
+                "timers": {
+                    name: list(entry) for name, entry in self._timers.items()
+                },
+            }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` delta into this registry.
+
+        Counters and histogram aggregates merge commutatively (sum / sum /
+        min / max), so merging chunk registries in any order reproduces the
+        registry a single-process run would have built. Gauges are
+        last-write-wins (the participant phase writes none, so this only
+        matters for ad-hoc use). Timers accumulate wall-clock time; they are
+        excluded from :meth:`deterministic_snapshot` anyway.
+        """
+        with self._lock:
+            for name, amount in state.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + amount
+            self._gauges.update(state.get("gauges", {}))
+            for name, entry in state.get("histograms", {}).items():
+                count, total, low, high = entry
+                mine = self._histograms.get(name)
+                if mine is None:
+                    self._histograms[name] = [count, Fraction(total), low, high]
+                else:
+                    mine[0] += count
+                    mine[1] += Fraction(total)
+                    mine[2] = min(mine[2], low)
+                    mine[3] = max(mine[3], high)
+            for name, entry in state.get("timers", {}).items():
+                seconds, calls = entry
+                mine = self._timers.setdefault(name, [0.0, 0])
+                mine[0] += seconds
+                mine[1] += calls
+
     def reset(self, prefix: Optional[str] = None) -> None:
         """Clear every section (or only the names under ``prefix``)."""
         with self._lock:

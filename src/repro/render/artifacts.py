@@ -160,6 +160,30 @@ class PageArtifactCache:
                 self._entries[key] = entry
         return entry
 
+    def snapshot_entries(self) -> Dict[Tuple[str, str], PageArtifacts]:
+        """A shallow copy of the entry map (read-only snapshot semantics).
+
+        The process fan-out prebuilds the cache once in the parent and ships
+        this snapshot to every worker; entries are immutable-in-practice
+        (pure functions of the page bytes), so sharing the
+        :class:`PageArtifacts` objects themselves is safe.
+        """
+        with self._lock:
+            return dict(self._entries)
+
+    def seed_entries(
+        self, entries: Dict[Tuple[str, str], PageArtifacts]
+    ) -> None:
+        """Adopt a prebuilt entry map (worker-side of :meth:`snapshot_entries`).
+
+        The mapping is adopted by reference: chunks running in the same
+        worker process share one map, exactly as threads share the parent
+        cache — any entry built on demand (e.g. after a resilient prewarm
+        skipped a page) is reused by later chunks.
+        """
+        with self._lock:
+            self._entries = entries
+
     def invalidate(self, storage_path: Optional[str] = None) -> int:
         """Drop cached artifacts; returns how many entries were removed.
 
