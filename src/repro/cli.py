@@ -171,6 +171,91 @@ def _load_utilities(path: Optional[str], campaign: Campaign) -> Dict[str, float]
     return utilities
 
 
+def cmd_fleet(args) -> int:
+    """Drive a fleet of campaigns through the durable control plane."""
+    from repro.fleet import CampaignManager, CampaignSubmission, WorkerChaos
+
+    spec = _load_spec(args.spec)
+    root = Path(args.pages)
+    documents = {}
+    for webpage in spec.webpages:
+        main = root / webpage.web_path / webpage.web_main_file
+        if not main.is_file():
+            raise ReproError(f"missing page file: {main}")
+        documents[webpage.web_path] = main.read_text(encoding="utf-8")
+    fetcher = StaticResourceMap.from_directory(args.pages, BASE_URL)
+    version_ids = [w.web_path for w in spec.webpages]
+    if args.utilities:
+        loaded = jsonutil.load_file(args.utilities)
+        missing = [v for v in version_ids if v not in loaded]
+        if missing:
+            raise ReproError(
+                f"utilities file missing versions: {', '.join(missing)}"
+            )
+        utilities = {v: float(loaded[v]) for v in version_ids}
+    else:
+        utilities = {v: 0.0 for v in version_ids}
+    utilities.setdefault("__contrast__", -9.0)
+    judge = make_utility_judge(utilities, ThurstoneChoiceModel())
+    template = CampaignSubmission(
+        parameters=spec,
+        documents=documents,
+        judge=judge,
+        config=CampaignConfig(seed=args.seed),
+        participants=args.participants,
+        main_text_selector=args.main_text_selector,
+        fetcher=fetcher,
+    )
+    chaos = (
+        WorkerChaos(seed=args.seed, kill_rate=args.kill_rate)
+        if args.kill_rate > 0
+        else None
+    )
+    manager = CampaignManager(
+        chaos=chaos,
+        visibility_timeout=args.visibility_timeout,
+        max_deliveries=args.max_deliveries,
+        max_in_flight_per_resource=args.max_per_host,
+    )
+    run_ids = [
+        manager.submit(template.with_seed(args.seed + i))
+        for i in range(args.campaigns)
+    ]
+    report = manager.run_fleet(num_workers=args.workers)
+    print(
+        f"Fleet of {report.workers} worker(s) drained {report.submitted} "
+        f"campaign(s) in {report.makespan_seconds / 3600:.2f} virtual hours "
+        f"({report.wall_seconds:.2f}s wall): {report.completed} completed, "
+        f"{report.dead} dead-lettered, {report.crashes} worker crash(es), "
+        f"{report.redeliveries} redelivery(ies)."
+    )
+    for run_id in run_ids:
+        payload = manager.result(run_id)
+        if payload is not None:
+            print(f"  {run_id}: concluded with {payload['participants']} "
+                  f"participants ({'degraded' if payload['degraded'] else 'clean'})")
+            continue
+        dead = manager.dead_letter(run_id)
+        if dead is not None:
+            last = dead["failures"][-1]["error"] if dead["failures"] else "?"
+            print(f"  {run_id}: DEAD after {dead['deliveries']} deliveries "
+                  f"— {last}")
+    if args.json:
+        payload = {
+            "report": report.to_dict(),
+            "results": {r: manager.result(r) for r in run_ids},
+            "dead_letters": {
+                r: manager.dead_letter(r)
+                for r in report.dead_job_ids
+            },
+        }
+        Path(args.json).write_text(
+            jsonutil.dumps_pretty(payload), encoding="utf-8"
+        )
+        print(f"\nFleet report written to {args.json}")
+    return 0
+
+
 def cmd_builder(args) -> int:
     from repro.core.webui import render_builder_form
 
@@ -251,6 +336,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace-event JSON timeline (implies --observe)",
     )
     run.set_defaults(func=cmd_run)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a fleet of campaigns through the durable job queue",
+        description="Stamp N campaigns out of one spec (distinct seeds), "
+        "enqueue them on the durable at-least-once job queue, and drain "
+        "them through a worker fleet on the virtual clock — with optional "
+        "seeded worker-crash chaos to exercise requeue-on-crash resume.",
+    )
+    fleet.add_argument("spec")
+    fleet.add_argument("pages")
+    fleet.add_argument("--campaigns", type=int, default=8, metavar="N",
+                       help="how many campaigns to stamp out (default 8)")
+    fleet.add_argument("--workers", type=int, default=2,
+                       help="fleet worker count (default 2)")
+    fleet.add_argument("--participants", type=int, default=None,
+                       help="override the spec's roster size per campaign")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--kill-rate", type=float, default=0.0, metavar="P",
+                       help="seeded chaos: probability a delivery's worker "
+                       "crashes mid-campaign (default 0)")
+    fleet.add_argument("--visibility-timeout", type=float, default=120.0,
+                       metavar="S", help="lease length in virtual seconds "
+                       "(default 120)")
+    fleet.add_argument("--max-deliveries", type=int, default=4,
+                       help="delivery budget before dead-lettering (default 4)")
+    fleet.add_argument("--max-per-host", type=int, default=None, metavar="N",
+                       help="per-stimulus-host in-flight concurrency guard")
+    fleet.add_argument("--utilities",
+                       help="JSON file mapping version ids to latent utilities")
+    fleet.add_argument("--main-text-selector", default="p")
+    fleet.add_argument("--json", metavar="FILE",
+                       help="write the full fleet report + results as JSON")
+    fleet.set_defaults(func=cmd_fleet)
 
     builder = sub.add_parser("builder", help="print the parameter-builder form HTML")
     builder.add_argument("--questions", type=int, default=1)

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.aggregator import Aggregator, PreparedTest
+from repro.core.aggregator import RESPONSES_COLLECTION, Aggregator, PreparedTest
 from repro.core.analysis import AnalysisBundle, analyze_responses
 from repro.core.conclusion import Conclusion, DegradedConclusion
 from repro.core.config import CampaignConfig, warn_legacy_kwargs
@@ -86,6 +86,11 @@ class CampaignResult:
     duration_days: float
     total_cost_usd: float
     conclusion: Optional[Conclusion] = None
+    #: Checkpoint payload for driving a resume from the serialized result:
+    #: ``root_entropy``, the completed-participant ids, the stored rows, and
+    #: any recorded upload losses. ``None`` for inline (non-fan-out) runs,
+    #: which have no replayable entropy.
+    resume_state: Optional[dict] = None
 
     @property
     def controlled_results(self) -> List[ParticipantResult]:
@@ -118,6 +123,7 @@ class CampaignResult:
             "total_cost_usd": round(self.total_cost_usd, 2),
             "degraded": self.is_degraded,
             "conclusion": self.conclusion.to_dict() if self.conclusion else None,
+            "resume": self.resume_state,
         }
 
 
@@ -237,6 +243,12 @@ class Campaign:
         # value (and the same roster) resumes a crashed campaign on identical
         # RNG substreams, skipping participants whose uploads are stored.
         self.last_root_entropy: Optional[int] = None
+        # Optional callable invoked with this campaign after every durable
+        # unit of progress in a deterministic fan-out (each upload in serial/
+        # thread mode, each merged chunk in process mode). The fleet worker
+        # installs one to journal checkpoints and heartbeat its lease; it may
+        # raise to simulate the worker dying at exactly that point.
+        self.checkpoint_hook = None
         # Root span of the run in progress; participant subtrees are adopted
         # under the innermost open span from the campaign thread.
         self._root_span = None
@@ -432,6 +444,7 @@ class Campaign:
         min_participants=_UNSET,
         quorum=_UNSET,
         root_entropy=_UNSET,
+        resume_from: Optional[dict] = None,
     ) -> CampaignResult:
         """Run a fixed roster (the in-lab path, or unit-style driving).
 
@@ -449,6 +462,14 @@ class Campaign:
         RNG substreams — pass a crashed campaign's ``last_root_entropy`` to
         resume it: workers whose uploads are already stored are skipped, the
         rest re-simulate on exactly the streams they would have had.
+
+        ``resume_from`` is the serialized-checkpoint convenience: pass a
+        previous :meth:`CampaignResult.to_dict` payload (or its ``"resume"``
+        entry, or a fleet checkpoint of the same shape) and this campaign
+        seeds its database with the stored rows, carries over recorded upload
+        losses, and replays the payload's ``root_entropy`` — so a resume can
+        be driven across process boundaries from nothing but the serialized
+        result. Fan-out mode only.
         """
         cfg = self.config
         if controls_per_participant is None:
@@ -460,6 +481,13 @@ class Campaign:
         if quorum is _UNSET:
             quorum = cfg.quorum
         root_entropy = cfg.root_entropy if root_entropy is _UNSET else root_entropy
+        if resume_from is not None:
+            if parallelism is None:
+                raise CampaignError(
+                    "resume_from requires the deterministic fan-out mode; "
+                    "pass parallelism >= 1"
+                )
+            root_entropy = self._apply_resume_state(resume_from, root_entropy)
         prepared = self._require_prepared()
         with self.tracer.span(
             "campaign", category="campaign", test_id=prepared.test_id,
@@ -749,6 +777,63 @@ class Campaign:
             uspan.set_attr("status", upload.status)
         return uspan, None
 
+    def _apply_resume_state(
+        self, resume_from: dict, root_entropy: Optional[int]
+    ) -> int:
+        """Seed this campaign from a serialized checkpoint; returns the
+        entropy to replay.
+
+        Accepts either a full :meth:`CampaignResult.to_dict` payload or just
+        its ``"resume"`` entry. Stored rows are inserted for every completed
+        participant the server does not already hold (so the fan-out skips
+        them), and recorded upload losses are carried over — without them a
+        resumed resilient run would under-count its recruited roster and
+        conclude differently from an uncrashed one.
+        """
+        payload = resume_from.get("resume", resume_from)
+        if not isinstance(payload, dict) or payload.get("root_entropy") is None:
+            raise CampaignError(
+                "resume_from must be a CampaignResult.to_dict() payload (or "
+                "its 'resume' entry) carrying a root_entropy; inline runs "
+                "record none and cannot be resumed this way"
+            )
+        entropy = int(payload["root_entropy"])
+        if root_entropy is not None and int(root_entropy) != entropy:
+            raise CampaignError(
+                f"resume_from carries root_entropy {entropy} but "
+                f"root_entropy={root_entropy} was also passed; pass only one"
+            )
+        prepared = self._require_prepared()
+        responses = self.database.collection(RESPONSES_COLLECTION)
+        stored = set(self.server.uploaded_worker_ids(prepared.test_id))
+        for row in payload.get("rows") or []:
+            worker_id = row.get("worker_id")
+            if worker_id in stored:
+                continue
+            row = dict(row)
+            row.pop("_id", None)
+            responses.insert_one(row)
+            stored.add(worker_id)
+        known = {tuple(item) for item in self.lost_uploads}
+        for item in payload.get("lost_uploads") or []:
+            pair = (str(item[0]), str(item[1]))
+            if pair not in known:
+                self.lost_uploads.append(pair)
+                known.add(pair)
+        return entropy
+
+    def _checkpoint(self) -> None:
+        """Fire the installed checkpoint hook after a durable progress unit.
+
+        Called after every roster-order upload in serial/thread fan-out and
+        after every merged chunk in process fan-out — the points where the
+        server-side row store (the real checkpoint) has just grown. A hook
+        that raises kills the run exactly as a worker crash would, with the
+        rows up to (but not including) this unit already durable.
+        """
+        if self.checkpoint_hook is not None:
+            self.checkpoint_hook(self)
+
     def _run_participants_deterministic(
         self,
         workers: Sequence[WorkerProfile],
@@ -827,6 +912,7 @@ class Campaign:
                     result, client, pspan = simulate(i)
                     self._adopt(pspan)
                     self._upload_result(client, workers[i], result)
+                    self._checkpoint()
             elif executor == EXECUTOR_PROCESS:
                 with self.metrics.timed("campaign.parallel_fanout"):
                     run_process_fanout(
@@ -846,6 +932,7 @@ class Campaign:
                         ):
                             self._adopt(pspan)
                             self._upload_result(client, workers[i], result)
+                            self._checkpoint()
 
     def _make_downloader(self, client: Client):
         def download(storage_path: str) -> str:
@@ -1067,7 +1154,32 @@ class Campaign:
                 duration_days=duration_days,
                 total_cost_usd=job.total_cost_usd if job is not None else 0.0,
                 conclusion=conclusion,
+                resume_state=self.resume_state(),
             )
+
+    def resume_state(self) -> Optional[dict]:
+        """The serializable checkpoint of everything durable so far.
+
+        ``None`` before any deterministic fan-out ran (inline runs record no
+        replayable entropy). Otherwise: the fan-out's ``root_entropy``, the
+        ids and stored rows of completed participants, and the recorded
+        upload losses — exactly what :meth:`run_with_workers`'s
+        ``resume_from`` consumes to continue the campaign elsewhere.
+        """
+        if self.last_root_entropy is None:
+            return None
+        prepared = self._require_prepared()
+        rows = self.database.collection(RESPONSES_COLLECTION).find(
+            {"test_id": prepared.test_id}
+        )
+        for row in rows:
+            row.pop("_id", None)
+        return {
+            "root_entropy": self.last_root_entropy,
+            "completed_worker_ids": [row["worker_id"] for row in rows],
+            "rows": rows,
+            "lost_uploads": [list(pair) for pair in self.lost_uploads],
+        }
 
     # -- observability -----------------------------------------------------------
 

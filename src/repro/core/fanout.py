@@ -400,6 +400,9 @@ def _merge_chunk(campaign, chunk: ChunkOutcome) -> None:
     # the same order as the serial run, hence a bit-identical clock.
     for amount in chunk.advances:
         campaign.network.wait(amount)
+    # The merged rows are durable now — in process mode this is the
+    # checkpoint granularity (a crash between chunks resumes from here).
+    campaign._checkpoint()
 
 
 def run_process_fanout(

@@ -124,6 +124,24 @@ class ParticipantAbandoned(ExtensionError):
         self.reason = reason
 
 
+class FleetError(ReproError):
+    """Raised by the fleet control plane: malformed submissions, scheduler
+    stalls, or queue misuse that is not a lease-protocol violation."""
+
+
+class LeaseError(FleetError):
+    """Raised when a queue operation presents an unknown or stale lease
+    token — the job was redelivered to another worker (or dead-lettered)
+    after this worker's lease expired. The correct reaction is to abandon
+    the job: its at-least-once contract means someone else owns it now."""
+
+
+class WorkerCrashed(FleetError):
+    """Injected by seeded fleet chaos hooks to simulate a worker process
+    dying mid-job: the job is neither acked nor nacked, so recovery has to
+    come from the lease expiring and the queue redelivering the job."""
+
+
 class PlatformError(ReproError):
     """Raised by the simulated crowdsourcing platform (unknown job, over-budget
     recruitment, double-submission)."""

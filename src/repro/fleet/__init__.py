@@ -1,0 +1,44 @@
+"""The fleet control plane: run many campaigns as a managed service.
+
+Kaleidoscope is pitched as a reusable testing *service* — experimenters
+submit campaigns, the platform runs them. This package is the platform
+side: a durable at-least-once :class:`~repro.fleet.queue.JobQueue` (leases
+on the simulated clock, ack/nack, capped-backoff requeue, dead-lettering,
+per-resource concurrency guards), :class:`~repro.fleet.worker.FleetWorker`
+execution with journaled checkpoints so crashed jobs resume instead of
+restarting, seeded :class:`~repro.fleet.chaos.WorkerChaos`, and the
+:class:`~repro.fleet.manager.CampaignManager` front door that drains a
+fleet of N workers deterministically in virtual time.
+"""
+
+from repro.fleet.chaos import WorkerChaos
+from repro.fleet.jobs import CampaignSubmission
+from repro.fleet.manager import CampaignManager, FleetReport
+from repro.fleet.queue import (
+    COMPLETED,
+    DEAD,
+    IN_FLIGHT,
+    JOB_STATES,
+    QUEUED,
+    JobQueue,
+    JobRecord,
+)
+from repro.fleet.store import FleetStore
+from repro.fleet.worker import FleetWorker, JobOutcome
+
+__all__ = [
+    "CampaignManager",
+    "CampaignSubmission",
+    "FleetReport",
+    "FleetStore",
+    "FleetWorker",
+    "JobOutcome",
+    "JobQueue",
+    "JobRecord",
+    "WorkerChaos",
+    "COMPLETED",
+    "DEAD",
+    "IN_FLIGHT",
+    "QUEUED",
+    "JOB_STATES",
+]

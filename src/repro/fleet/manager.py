@@ -1,0 +1,287 @@
+"""The fleet control plane: submissions in, concluded campaigns out.
+
+:class:`CampaignManager` is the multi-campaign layer the ROADMAP's first
+open item asks for. Experimenters :meth:`submit` campaign submissions; the
+manager assigns run ids, persists the payloads, and enqueues jobs on the
+durable :class:`~repro.fleet.queue.JobQueue`. :meth:`run_fleet` then drives
+N :class:`~repro.fleet.worker.FleetWorker`\\ s over the queue on a single
+deterministic virtual clock: each worker has a ``free_at`` time, the
+scheduler always advances the earliest-free worker (ties broken by index),
+and a worker with nothing claimable fast-forwards to the queue's next
+event (a backoff gate opening, a dead worker's lease expiring). Everything
+— claims, heartbeats, crashes, redeliveries, dead-letters — happens in
+virtual time, so a fleet run is bit-reproducible and the worker-scaling
+curve (makespan vs worker count) is a property of the schedule, not of
+host load.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FleetError
+from repro.fleet.chaos import WorkerChaos
+from repro.fleet.jobs import CampaignSubmission
+from repro.fleet.queue import COMPLETED, DEAD, JobQueue
+from repro.fleet.store import FleetStore
+from repro.fleet.worker import FleetWorker, JobOutcome
+from repro.net.faults import BreakerRegistry
+from repro.obs import Observability
+
+#: Hard cap on scheduler iterations per submitted job — a stall backstop
+#: far above anything a legitimate fleet produces (each job needs at most
+#: ``max_deliveries`` executions plus a few idle fast-forwards).
+_MAX_STEPS_PER_JOB = 200
+
+
+@dataclass
+class FleetReport:
+    """What one :meth:`CampaignManager.run_fleet` drain accomplished."""
+
+    workers: int
+    submitted: int
+    completed: int
+    dead: int
+    crashes: int
+    redeliveries: int
+    lease_expiries: int
+    #: Virtual seconds from fleet start until the last job reached a
+    #: terminal state — the number worker scaling is measured on.
+    makespan_seconds: float
+    wall_seconds: float
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    dead_job_ids: List[str] = field(default_factory=list)
+
+    @property
+    def jobs_per_virtual_hour(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return (self.completed + self.dead) * 3600.0 / self.makespan_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "dead": self.dead,
+            "crashes": self.crashes,
+            "redeliveries": self.redeliveries,
+            "lease_expiries": self.lease_expiries,
+            "makespan_seconds": round(self.makespan_seconds, 3),
+            "jobs_per_virtual_hour": round(self.jobs_per_virtual_hour, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "dead_job_ids": list(self.dead_job_ids),
+            "deliveries": [o.to_dict() for o in self.outcomes],
+        }
+
+
+class CampaignManager:
+    """Ingests campaign submissions and drains them through a worker fleet."""
+
+    def __init__(
+        self,
+        store: Optional[FleetStore] = None,
+        visibility_timeout: float = 600.0,
+        max_deliveries: int = 4,
+        backoff_base_seconds: float = 5.0,
+        backoff_cap_seconds: float = 300.0,
+        max_in_flight_per_resource: Optional[int] = None,
+        chaos: Optional[WorkerChaos] = None,
+        observe: bool = False,
+        restart_delay_seconds: float = 30.0,
+        queue: Optional[JobQueue] = None,
+    ):
+        self._now = 0.0
+        self.obs = (
+            Observability.enabled_for(lambda: self._now)
+            if observe
+            else Observability.disabled()
+        )
+        self.store = store if store is not None else FleetStore()
+        self.queue = (
+            queue
+            if queue is not None
+            else JobQueue(
+                visibility_timeout=visibility_timeout,
+                max_deliveries=max_deliveries,
+                backoff_base_seconds=backoff_base_seconds,
+                backoff_cap_seconds=backoff_cap_seconds,
+                max_in_flight_per_resource=max_in_flight_per_resource,
+                store=self.store,
+                metrics=self.obs.metrics,
+            )
+        )
+        self.chaos = chaos
+        self.restart_delay_seconds = float(restart_delay_seconds)
+        #: Shared across every worker; scoping per job id happens inside
+        #: :class:`~repro.fleet.worker.FleetWorker`.
+        self.breakers = BreakerRegistry()
+        self.submissions: Dict[str, CampaignSubmission] = {}
+        self._run_seq = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def submit(self, submission: CampaignSubmission, now: float = 0.0) -> str:
+        """Accept one campaign; returns its assigned run id."""
+        if not isinstance(submission, CampaignSubmission):
+            raise FleetError(
+                "submit() takes a CampaignSubmission, got "
+                f"{type(submission).__name__}"
+            )
+        run_id = f"run-{self._run_seq:04d}"
+        self._run_seq += 1
+        self.submissions[run_id] = submission
+        self._now = max(self._now, float(now))
+        self.queue.submit(
+            run_id, payload=submission,
+            resource=submission.stimulus_host(), now=now,
+        )
+        return run_id
+
+    def submit_all(self, submissions, now: float = 0.0) -> List[str]:
+        return [self.submit(s, now=now) for s in submissions]
+
+    # -- results -----------------------------------------------------------
+
+    def result(self, run_id: str) -> Optional[dict]:
+        """The concluded result payload for a run, or ``None``."""
+        return self.store.load_result(run_id)
+
+    def dead_letter(self, run_id: str) -> Optional[dict]:
+        """The dead-letter record (failure chain attached), or ``None``."""
+        return self.store.load_dead_letter(run_id)
+
+    def results(self) -> Dict[str, dict]:
+        return {
+            run_id: payload
+            for run_id in self.submissions
+            if (payload := self.store.load_result(run_id)) is not None
+        }
+
+    # -- the fleet loop ----------------------------------------------------
+
+    def run_fleet(
+        self, num_workers: int = 1, start: float = 0.0
+    ) -> FleetReport:
+        """Drain the queue through ``num_workers`` workers; returns a report.
+
+        One drain is one fleet session: workers are created fresh, share one
+        breaker registry, and run until every submitted job is terminal
+        (completed or dead-lettered). Deterministic: the same submissions,
+        chaos plan, and worker count always produce the same schedule.
+        """
+        import time as _time
+
+        if num_workers < 1:
+            raise FleetError(f"num_workers must be >= 1, got {num_workers}")
+        wall_start = _time.perf_counter()
+        workers = [
+            FleetWorker(
+                f"fleet-worker-{i}", self.queue, self.store,
+                chaos=self.chaos, breakers=self.breakers, obs=self.obs,
+                restart_delay_seconds=self.restart_delay_seconds,
+            )
+            for i in range(num_workers)
+        ]
+        free_at = [float(start)] * num_workers
+        outcomes: List[JobOutcome] = []
+        #: Deliveries whose ack/nack has not yet been applied, as a heap of
+        #: ``(finished_at, seq, outcome)``. Executions are computed eagerly
+        #: (they are deterministic), but their terminal queue transition is
+        #: deferred until the virtual clock reaches ``finished_at`` — a
+        #: worker claiming at an earlier instant must still see the job in
+        #: flight, or the per-resource guard observes the future.
+        pending: List[tuple] = []
+        makespan_end = float(start)
+        submitted = len(self.queue.job_ids())
+        max_steps = max(1, submitted) * _MAX_STEPS_PER_JOB
+        steps = 0
+        with self.obs.tracer.span(
+            "fleet", category="fleet", workers=num_workers, jobs=submitted,
+        ):
+            while True:
+                index = min(range(num_workers), key=lambda i: (free_at[i], i))
+                now = free_at[index]
+                while pending and pending[0][0] <= now:
+                    heapq.heappop(pending)[2].apply()
+                if self.queue.drained and not pending:
+                    break
+                steps += 1
+                if steps > max_steps:
+                    raise FleetError(
+                        "fleet scheduler stalled: exceeded "
+                        f"{max_steps} steps with jobs still pending"
+                    )
+                self._now = max(self._now, now)
+                record = self.queue.claim(workers[index].worker_id, now)
+                if record is None:
+                    next_time = self.queue.next_event_time(now)
+                    candidates = [t for t in free_at if t > now]
+                    if next_time is not None:
+                        candidates.append(next_time)
+                    if pending:
+                        candidates.append(pending[0][0])
+                    if not candidates:
+                        if self.queue.drained:
+                            continue
+                        raise FleetError(
+                            "queue has pending jobs but no future event can "
+                            "make them claimable"
+                        )
+                    free_at[index] = min(candidates)
+                    continue
+                outcome = workers[index].execute(record, now)
+                self._now = max(self._now, outcome.finished_at)
+                free_at[index] = outcome.worker_free_at
+                makespan_end = max(makespan_end, outcome.finished_at)
+                heapq.heappush(pending, (outcome.finished_at, steps, outcome))
+                outcomes.append(outcome)
+        counts = self.queue.state_counts()
+        return FleetReport(
+            workers=num_workers,
+            submitted=submitted,
+            completed=counts[COMPLETED],
+            dead=counts[DEAD],
+            crashes=sum(w.crashes for w in workers),
+            redeliveries=self.queue.redeliveries,
+            lease_expiries=self.queue.lease_expiries,
+            makespan_seconds=makespan_end - float(start),
+            wall_seconds=_time.perf_counter() - wall_start,
+            outcomes=outcomes,
+            dead_job_ids=sorted(
+                r.job_id for r in self.queue.dead_letters()
+            ),
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, store: FleetStore, now: float = 0.0, **options) -> "CampaignManager":
+        """Rebuild a manager whose control plane died, from the store alone.
+
+        The queue journal is replayed (in-flight jobs requeued), payloads
+        are reloaded from their durable pickles, and the submissions map is
+        repopulated — results already concluded stay concluded.
+        """
+        manager = cls(store=store, queue=JobQueue(store=store), **{
+            k: v for k, v in options.items()
+            if k in ("chaos", "observe", "restart_delay_seconds")
+        })
+        queue_options = {
+            k: v for k, v in options.items()
+            if k in (
+                "visibility_timeout", "max_deliveries", "backoff_base_seconds",
+                "backoff_cap_seconds", "max_in_flight_per_resource",
+            )
+        }
+        manager.queue = JobQueue.recover(
+            store, metrics=manager.obs.metrics, now=now, **queue_options
+        )
+        for run_id in manager.queue.job_ids():
+            record = manager.queue.record(run_id)
+            if record.payload is not None:
+                manager.submissions[run_id] = record.payload
+        manager._run_seq = len(manager.queue.job_ids())
+        return manager

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ValidationError
 
@@ -302,3 +302,51 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.state = self.CLOSED
         self.consecutive_failures = 0
+
+
+class BreakerRegistry:
+    """Circuit breakers keyed by ``(scope, host)``.
+
+    A single long-lived holder — a fleet worker, a shared client pool — can
+    serve many campaigns against overlapping stimulus hosts. Keying breaker
+    state by scope as well as host is what stops cross-campaign bleed: a
+    poison campaign hammering ``kaleidoscope.local`` trips *its* breaker,
+    while a healthy campaign against the same host keeps a closed circuit.
+    Callers that *want* shared state (one logical client retrying the same
+    traffic) simply reuse a scope.
+    """
+
+    def __init__(self, config: Optional[CircuitBreakerConfig] = None):
+        self.config = config or CircuitBreakerConfig()
+        self._breakers: dict = {}
+
+    def breaker(self, host: str, scope: str = "") -> CircuitBreaker:
+        """The breaker for ``host`` within ``scope`` (created on first use)."""
+        key = (str(scope), str(host).lower())
+        found = self._breakers.get(key)
+        if found is None:
+            found = self._breakers[key] = CircuitBreaker(self.config)
+        return found
+
+    def open_hosts(self, scope: str = "") -> List[str]:
+        """Hosts whose breaker is currently open within ``scope`` (sorted)."""
+        return sorted(
+            host
+            for (owner, host), breaker in self._breakers.items()
+            if owner == str(scope) and breaker.state == CircuitBreaker.OPEN
+        )
+
+    def scopes(self) -> List[str]:
+        """Every scope that has at least one breaker (sorted, unique)."""
+        return sorted({owner for owner, _ in self._breakers})
+
+    def reset(self, scope: Optional[str] = None) -> int:
+        """Drop breaker state for one scope (or all); returns the count."""
+        if scope is None:
+            count = len(self._breakers)
+            self._breakers.clear()
+            return count
+        doomed = [key for key in self._breakers if key[0] == str(scope)]
+        for key in doomed:
+            del self._breakers[key]
+        return len(doomed)

@@ -360,6 +360,8 @@ class Client:
         session_start: Optional[float] = None,
         tracer=None,
         metrics=None,
+        breaker_registry=None,
+        breaker_scope: Optional[str] = None,
     ):
         self.network = network
         self.profile = profile
@@ -367,6 +369,11 @@ class Client:
         self.client_id = client_id
         self.rng = rng
         self.breaker_config = breaker_config
+        # When a shared BreakerRegistry is supplied, breaker state lives
+        # there, keyed (scope, host) — scope defaults to this client's id so
+        # two clients only share breakers when they opt into the same scope.
+        self.breaker_registry = breaker_registry
+        self.breaker_scope = breaker_scope if breaker_scope is not None else client_id
         # Inherit the network's sinks unless the campaign injects its own.
         self.tracer = tracer if tracer is not None else getattr(
             network, "tracer", NULL_TRACER
@@ -395,6 +402,8 @@ class Client:
 
     def breaker_for(self, host: str) -> Optional[CircuitBreaker]:
         """The host's circuit breaker (None when breakers are disabled)."""
+        if self.breaker_registry is not None:
+            return self.breaker_registry.breaker(host, scope=self.breaker_scope)
         if self.breaker_config is None:
             return None
         breaker = self._breakers.get(host)

@@ -49,6 +49,18 @@ class FileStore:
         self._files[normal] = content
         return normal
 
+    def append(self, path: str, content: str) -> str:
+        """Append text to ``path``, creating the file when absent.
+
+        This is the primitive journal writers need: each queue transition
+        becomes one appended line, so recovery can replay the file in order.
+        """
+        if not isinstance(content, str):
+            raise StorageError(f"content must be text, got {type(content).__name__}")
+        normal = _normalize(path)
+        self._files[normal] = self._files.get(normal, "") + content
+        return normal
+
     def read(self, path: str) -> str:
         """Return the content at ``path``; raises StorageError when absent."""
         normal = _normalize(path)

@@ -248,6 +248,78 @@ class TestCheckpointResume:
         assert completed_before <= set(uploads)
 
 
+class TestSerializedResume:
+    """Resume state travels inside ``CampaignResult.to_dict()`` — a crashed
+    campaign's partial conclusion is enough to finish the run on a fresh
+    campaign object (the fleet's crash-recovery path, minus the queue)."""
+
+    def build(self, seed=44):
+        campaign = Campaign(
+            seed=seed,
+            fault_plan=FaultPlan.lossy(seed=seed, drop_rate=0.05),
+            retry_policy=RETRIES,
+            dropout_rate=0.15,
+        )
+        campaign.prepare(make_params(participants=8), make_documents())
+        return campaign
+
+    def test_result_payload_carries_resume_state(self):
+        workers = generate_population(
+            6, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=15, id_prefix="w"
+        )
+        campaign = Campaign(seed=43)
+        campaign.prepare(make_params(participants=6), make_documents())
+        result = campaign.run_with_workers(workers, make_judge(), parallelism=1)
+        resume = result.to_dict()["resume"]
+        assert resume["root_entropy"] == campaign.last_root_entropy
+        assert sorted(resume["completed_worker_ids"]) == sorted(
+            w.worker_id for w in workers
+        )
+        assert len(resume["rows"]) == len(workers)
+        assert resume["lost_uploads"] == []
+
+    def test_resume_from_serialized_result_on_fresh_campaign(self):
+        workers = generate_population(
+            8, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=13, id_prefix="w"
+        )
+        config = QualityConfig()
+        reference = self.build()
+        clean = reference.run_with_workers(
+            workers, make_judge(), parallelism=1, quality_config=config
+        )
+
+        crashed = self.build()
+        judge = CrashingJudge(make_judge(), workers[4].worker_id)
+        with pytest.raises(RuntimeError, match="simulated mid-campaign crash"):
+            crashed.run_with_workers(
+                workers, judge, parallelism=1, quality_config=config
+            )
+        # Conclude what landed: the serialized partial result is the whole
+        # checkpoint — rows, recorded losses, and the RNG root entropy.
+        partial = crashed.conclude(
+            job=None, duration_days=0.0, quality_config=config
+        )
+        payload = partial.to_dict()
+
+        fresh = self.build()
+        resumed = fresh.run_with_workers(
+            workers, make_judge(), parallelism=1, quality_config=config,
+            resume_from=payload,
+        )
+        assert fingerprint(resumed, fresh) == fingerprint(clean, reference)
+
+    def test_resume_from_requires_fanout_mode(self):
+        workers = generate_population(
+            4, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=16, id_prefix="w"
+        )
+        campaign = Campaign(seed=45)
+        campaign.prepare(make_params(participants=4), make_documents())
+        with pytest.raises(CampaignError, match="parallelism"):
+            campaign.run_with_workers(
+                workers, make_judge(), resume_from={"root_entropy": 1}
+            )
+
+
 class TestLostUploads:
     def test_server_outage_during_upload_recorded_as_loss(self):
         # An outage window pinned over upload time: participants finish the

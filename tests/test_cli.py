@@ -169,6 +169,58 @@ class TestRun:
         assert "missing versions" in capsys.readouterr().err
 
 
+class TestFleet:
+    def test_fleet_smoke_with_chaos(self, workspace, capsys):
+        out_path = workspace / "fleet.json"
+        code = main(
+            [
+                "fleet",
+                str(workspace / "spec.json"),
+                str(workspace / "pages"),
+                "--campaigns", "3",
+                "--workers", "2",
+                "--participants", "4",
+                "--kill-rate", "0.5",
+                "--seed", "7",
+                "--utilities", str(workspace / "utils.json"),
+                "--json", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 campaign(s)" in out
+        payload = json.loads(out_path.read_text())
+        report = payload["report"]
+        assert report["submitted"] == 3
+        assert report["completed"] + report["dead"] == 3
+        # Zero lost jobs: every submission is accounted for in the output.
+        assert len(payload["results"]) == report["completed"]
+        assert len(payload["dead_letters"]) == report["dead"]
+
+    def test_fleet_deterministic_reports(self, workspace, capsys):
+        outputs = []
+        for path in ("one.json", "two.json"):
+            out_path = workspace / path
+            assert main(
+                [
+                    "fleet",
+                    str(workspace / "spec.json"),
+                    str(workspace / "pages"),
+                    "--campaigns", "2",
+                    "--workers", "2",
+                    "--participants", "4",
+                    "--kill-rate", "1.0",
+                    "--seed", "3",
+                    "--json", str(out_path),
+                ]
+            ) == 0
+            payload = json.loads(out_path.read_text())
+            payload["report"].pop("wall_seconds")
+            outputs.append(payload)
+        capsys.readouterr()
+        assert outputs[0] == outputs[1]
+
+
 class TestBuilder:
     def test_prints_form(self, capsys):
         assert main(["builder", "--questions", "2", "--webpages", "3"]) == 0

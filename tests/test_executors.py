@@ -20,6 +20,7 @@ from repro.core.extension import make_utility_judge
 from repro.core.fanout import ensure_picklable
 from repro.core.parameters import Question, TestParameters, WebpageSpec
 from repro.crowd.judgment import ThurstoneChoiceModel
+from repro.crowd.workers import FIGURE_EIGHT_TRUSTWORTHY_MIX, generate_population
 from repro.errors import CampaignError, ValidationError
 from repro.html.parser import parse_html
 from repro.net.faults import FaultPlan, RetryPolicy
@@ -161,6 +162,95 @@ class TestCrossExecutorDeterminism:
             config=CampaignConfig(seed=71, observe=True, chunk_size=2),
         )
         assert fingerprint(campaign, result, tmp_path, "chunk-2") == base
+
+
+# -- checkpoint / resume across a process-executor crash ----------------------
+
+
+class ChunkCrashHook:
+    """Checkpoint hook that dies after N chunk merges (parent-side crash)."""
+
+    def __init__(self, crash_after):
+        self.crash_after = crash_after
+        self.calls = 0
+
+    def __call__(self, campaign):
+        self.calls += 1
+        if self.calls == self.crash_after:
+            raise RuntimeError("simulated crash between chunks")
+
+
+class TestProcessCheckpointResume:
+    def run_reference(self, workers, config):
+        campaign = Campaign(config=config)
+        campaign.prepare(make_params(), make_documents())
+        result = campaign.run_with_workers(
+            workers, make_judge(), parallelism=4, executor="process"
+        )
+        return campaign, result
+
+    def test_midrun_crash_between_chunks_resumes_bit_identical(self):
+        workers = generate_population(
+            PARTICIPANTS, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=7, id_prefix="w"
+        )
+        # chunk_size=3 over 12 participants: 4 chunks, checkpoint after each.
+        config = CampaignConfig(seed=71, chunk_size=3)
+        _, clean = self.run_reference(workers, config)
+
+        crashed = Campaign(config=config)
+        crashed.prepare(make_params(), make_documents())
+        crashed.checkpoint_hook = ChunkCrashHook(crash_after=2)
+        with pytest.raises(RuntimeError, match="between chunks"):
+            crashed.run_with_workers(
+                workers, make_judge(), parallelism=4, executor="process"
+            )
+        # The crash landed between chunks: a proper prefix of the roster's
+        # uploads is durable, the rest never ran.
+        stored = crashed.server.uploaded_worker_ids("executor-test")
+        assert 0 < len(stored) < PARTICIPANTS
+
+        # Resume on a *fresh* campaign from the serialized checkpoint state —
+        # the same payload a fleet worker journals — and conclude
+        # bit-identically to the uncrashed reference.
+        state = crashed.resume_state()
+        fresh = Campaign(config=config)
+        fresh.prepare(make_params(), make_documents())
+        resumed = fresh.run_with_workers(
+            workers, make_judge(), parallelism=4, executor="process",
+            resume_from=state,
+        )
+        assert json.dumps(resumed.conclusion.to_dict(), sort_keys=True) == (
+            json.dumps(clean.conclusion.to_dict(), sort_keys=True)
+        )
+        assert [r.as_dict() for r in resumed.raw_results] == [
+            r.as_dict() for r in clean.raw_results
+        ]
+        # The resumed run only re-simulated the missing suffix: every worker
+        # still uploaded exactly once.
+        uploads = fresh.server.uploaded_worker_ids("executor-test")
+        assert len(uploads) == len(set(uploads)) == PARTICIPANTS
+
+    def test_resume_on_same_campaign_via_root_entropy(self):
+        workers = generate_population(
+            PARTICIPANTS, FIGURE_EIGHT_TRUSTWORTHY_MIX, seed=7, id_prefix="w"
+        )
+        config = CampaignConfig(seed=71, chunk_size=3)
+        _, clean = self.run_reference(workers, config)
+        campaign = Campaign(config=config)
+        campaign.prepare(make_params(), make_documents())
+        campaign.checkpoint_hook = ChunkCrashHook(crash_after=3)
+        with pytest.raises(RuntimeError, match="between chunks"):
+            campaign.run_with_workers(
+                workers, make_judge(), parallelism=4, executor="process"
+            )
+        campaign.checkpoint_hook = None
+        resumed = campaign.run_with_workers(
+            workers, make_judge(), parallelism=4, executor="process",
+            root_entropy=campaign.last_root_entropy,
+        )
+        assert [r.as_dict() for r in resumed.raw_results] == [
+            r.as_dict() for r in clean.raw_results
+        ]
 
 
 # -- pool-size guardrails ----------------------------------------------------

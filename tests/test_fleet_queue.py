@@ -1,0 +1,252 @@
+"""Unit tests for the durable at-least-once job queue.
+
+The contract under test (ISSUE 7 tentpole): leases with visibility
+timeouts on the virtual clock, explicit ack/nack, capped exponential
+backoff on requeue, dead-lettering at the delivery budget with the failure
+chain attached, per-resource concurrency guards, stale-lease rejection,
+and full state recovery from the journal.
+"""
+
+import pytest
+
+from repro.errors import FleetError, LeaseError
+from repro.fleet.queue import COMPLETED, DEAD, IN_FLIGHT, QUEUED, JobQueue
+from repro.fleet.store import FleetStore
+
+
+def make_queue(**overrides):
+    options = dict(
+        visibility_timeout=60.0,
+        max_deliveries=3,
+        backoff_base_seconds=4.0,
+        backoff_factor=2.0,
+        backoff_cap_seconds=10.0,
+    )
+    options.update(overrides)
+    return JobQueue(store=FleetStore(), **options)
+
+
+class TestSubmitClaimAck:
+    def test_fifo_claim_order(self):
+        queue = make_queue()
+        for i in range(3):
+            queue.submit(f"job-{i}", payload=i, now=0.0)
+        claimed = [queue.claim("w", 1.0).job_id for _ in range(3)]
+        assert claimed == ["job-0", "job-1", "job-2"]
+        assert queue.claim("w", 1.0) is None
+
+    def test_duplicate_submit_rejected(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        with pytest.raises(FleetError):
+            queue.submit("job-0", now=1.0)
+
+    def test_ack_completes_and_is_terminal(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        record = queue.claim("w", 1.0)
+        assert record.state == IN_FLIGHT
+        assert record.deliveries == 1
+        queue.ack("job-0", record.lease_token, 5.0)
+        assert queue.record("job-0").state == COMPLETED
+        assert queue.drained
+        # A second ack with the (now cleared) token is a stale-lease error.
+        with pytest.raises(LeaseError):
+            queue.ack("job-0", record.lease_token, 6.0)
+
+    def test_payload_survives_claim(self):
+        queue = make_queue()
+        queue.submit("job-0", payload={"spec": 7}, now=0.0)
+        assert queue.claim("w", 0.0).payload == {"spec": 7}
+
+
+class TestLeases:
+    def test_lease_expiry_requeues_and_counts_delivery(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        first = queue.claim("w0", 0.0)
+        # Within the lease nothing changes; past it the job is reaped and
+        # requeued behind a backoff gate measured from the reap time.
+        assert queue.claim("w1", 30.0) is None
+        assert queue.expire_leases(60.0) == ["job-0"]
+        second = queue.claim("w1", 60.0 + queue.backoff_seconds(1))
+        assert second is not None and second.job_id == "job-0"
+        assert second.deliveries == 2
+        assert second.lease_token != first.lease_token
+        assert queue.lease_expiries == 1
+        assert queue.redeliveries == 1
+        assert queue.record("job-0").failures[0]["error"].startswith("lease expired")
+
+    def test_heartbeat_extends_lease(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        record = queue.claim("w0", 0.0)
+        queue.heartbeat("job-0", record.lease_token, 50.0)
+        # Old expiry (60) has passed, but the heartbeat moved it to 110.
+        assert queue.claim("w1", 100.0) is None
+        queue.ack("job-0", record.lease_token, 105.0)
+        assert queue.record("job-0").state == COMPLETED
+
+    def test_stale_token_rejected_after_redelivery(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        first = queue.claim("w0", 0.0)
+        queue.expire_leases(60.0)
+        later = 60.0 + queue.backoff_seconds(1) + 1.0
+        second = queue.claim("w1", later)
+        assert second.deliveries == 2
+        # The zombie's ack must not clobber the live delivery.
+        with pytest.raises(LeaseError):
+            queue.ack("job-0", first.lease_token, later + 1.0)
+        assert queue.record("job-0").state == IN_FLIGHT
+        queue.ack("job-0", second.lease_token, later + 2.0)
+        assert queue.record("job-0").state == COMPLETED
+
+    def test_ack_after_own_lease_expired_raises_and_requeues(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        record = queue.claim("w0", 0.0)
+        with pytest.raises(LeaseError):
+            queue.ack("job-0", record.lease_token, 61.0)
+        assert queue.record("job-0").state == QUEUED
+        assert queue.lease_expiries == 1
+
+
+class TestBackoffAndDeadLetter:
+    def test_backoff_is_capped_exponential(self):
+        queue = make_queue()
+        assert queue.backoff_seconds(1) == 4.0
+        assert queue.backoff_seconds(2) == 8.0
+        assert queue.backoff_seconds(3) == 10.0  # capped, not 16
+        assert queue.backoff_seconds(10) == 10.0
+
+    def test_nack_gates_requeue_behind_backoff(self):
+        queue = make_queue()
+        queue.submit("job-0", now=0.0)
+        record = queue.claim("w", 0.0)
+        queue.nack("job-0", record.lease_token, 10.0, error="boom")
+        assert queue.record("job-0").state == QUEUED
+        assert queue.claim("w", 10.0) is None          # gate: 10 + 4
+        assert queue.next_event_time(10.0) == 14.0
+        assert queue.claim("w", 14.0).deliveries == 2
+
+    def test_max_deliveries_dead_letters_with_failure_chain(self):
+        store = FleetStore()
+        queue = JobQueue(
+            store=store, visibility_timeout=60.0, max_deliveries=3,
+            backoff_base_seconds=1.0, backoff_cap_seconds=4.0,
+        )
+        queue.submit("job-0", now=0.0)
+        now = 0.0
+        for attempt in range(3):
+            now += 10.0
+            record = queue.claim("w", now)
+            assert record is not None
+            queue.nack("job-0", record.lease_token, now + 1.0,
+                       error=f"failure {attempt}")
+        record = queue.record("job-0")
+        assert record.state == DEAD
+        assert [f["error"] for f in record.failures] == [
+            "failure 0", "failure 1", "failure 2",
+        ]
+        assert queue.drained
+        # Dead is terminal and the store holds the dead-letter record.
+        assert queue.claim("w", now + 100.0) is None
+        dead = store.load_dead_letter("job-0")
+        assert dead["deliveries"] == 3
+        assert len(dead["failures"]) == 3
+
+    def test_crash_expiries_also_walk_to_dead_letter(self):
+        queue = make_queue(max_deliveries=2, backoff_base_seconds=1.0)
+        queue.submit("job-0", now=0.0)
+        queue.claim("w", 0.0)
+        queue.expire_leases(61.0)
+        queue.claim("w", 63.0)
+        queue.expire_leases(124.0)
+        assert queue.record("job-0").state == DEAD
+        assert queue.lease_expiries == 2
+
+
+class TestResourceGuard:
+    def test_per_resource_in_flight_cap(self):
+        queue = make_queue(max_in_flight_per_resource=1)
+        queue.submit("job-0", resource="host-a", now=0.0)
+        queue.submit("job-1", resource="host-a", now=0.0)
+        queue.submit("job-2", resource="host-b", now=0.0)
+        first = queue.claim("w0", 0.0)
+        assert first.job_id == "job-0"
+        # Same resource is gated; a different resource is claimable (the
+        # guard must not block the whole queue).
+        second = queue.claim("w1", 0.0)
+        assert second.job_id == "job-2"
+        assert queue.claim("w2", 0.0) is None
+        queue.ack("job-0", first.lease_token, 5.0)
+        assert queue.claim("w2", 5.0).job_id == "job-1"
+
+    def test_unguarded_queue_ignores_resources(self):
+        queue = make_queue()
+        queue.submit("job-0", resource="host-a", now=0.0)
+        queue.submit("job-1", resource="host-a", now=0.0)
+        assert queue.claim("w0", 0.0) is not None
+        assert queue.claim("w1", 0.0) is not None
+
+
+class TestRecovery:
+    def test_recover_rebuilds_terminal_states(self):
+        store = FleetStore()
+        queue = JobQueue(store=store, max_deliveries=2,
+                         backoff_base_seconds=1.0)
+        queue.submit("done", payload={"n": 1}, now=0.0)
+        queue.submit("poison", payload={"n": 2}, now=0.0)
+        record = queue.claim("w", 1.0)
+        queue.ack("done", record.lease_token, 2.0)
+        for now in (3.0, 10.0):
+            record = queue.claim("w", now)
+            queue.nack("poison", record.lease_token, now + 1.0, error="bad")
+        rebuilt = JobQueue.recover(store, max_deliveries=2)
+        assert rebuilt.snapshot() == queue.snapshot()
+        assert rebuilt.drained
+        assert [f["error"] for f in rebuilt.record("poison").failures] == [
+            "bad", "bad",
+        ]
+
+    def test_recover_requeues_in_flight_jobs_with_payload(self):
+        store = FleetStore()
+        queue = JobQueue(store=store)
+        queue.submit("j1", payload={"campaign": "a"}, now=0.0)
+        queue.submit("j2", payload={"campaign": "b"}, now=0.0)
+        queue.claim("w0", 1.0)
+        # The control plane dies here; j1's worker dies with it.
+        rebuilt = JobQueue.recover(store, now=2.0)
+        assert rebuilt.snapshot() == {"j1": (QUEUED, 1), "j2": (QUEUED, 0)}
+        assert rebuilt.record("j1").payload == {"campaign": "a"}
+        assert rebuilt.record("j1").failures[-1]["error"].startswith(
+            "control plane restarted"
+        )
+        # The interrupted delivery counted: the budget keeps shrinking.
+        claimed = rebuilt.claim("w0", 100.0)
+        assert claimed.job_id in ("j1", "j2")
+
+    def test_recovered_queue_keeps_working(self):
+        store = FleetStore()
+        queue = JobQueue(store=store)
+        queue.submit("j1", payload=1, now=0.0)
+        rebuilt = JobQueue.recover(store, now=0.0)
+        record = rebuilt.claim("w", 1.0)
+        rebuilt.ack("j1", record.lease_token, 2.0)
+        assert rebuilt.drained
+
+
+class TestValidation:
+    def test_bad_options_rejected(self):
+        with pytest.raises(FleetError):
+            JobQueue(visibility_timeout=0)
+        with pytest.raises(FleetError):
+            JobQueue(max_deliveries=0)
+        with pytest.raises(FleetError):
+            JobQueue(max_in_flight_per_resource=0)
+
+    def test_unknown_job_raises(self):
+        queue = make_queue()
+        with pytest.raises(FleetError):
+            queue.record("nope")

@@ -11,6 +11,7 @@ from repro.net.faults import (
     FAULT_LATENCY,
     FAULT_OUTAGE,
     FAULT_TIMEOUT,
+    BreakerRegistry,
     CircuitBreaker,
     CircuitBreakerConfig,
     FaultPlan,
@@ -196,6 +197,86 @@ class TestCircuitBreaker:
         breaker.allow(1000.0)
         breaker.record_success()
         assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestBreakerRegistry:
+    """Regression for cross-campaign breaker bleed: breaker state keyed by
+    ``(scope, host)``, so one campaign's failures never fail-fast another
+    campaign that happens to target the same stimulus host."""
+
+    def test_scopes_isolate_breakers_on_the_same_host(self):
+        registry = BreakerRegistry(CircuitBreakerConfig(failure_threshold=2))
+        poisoned = registry.breaker("srv.local", scope="campaign-poison")
+        healthy = registry.breaker("srv.local", scope="campaign-healthy")
+        assert poisoned is not healthy
+        poisoned.record_failure(0.0)
+        poisoned.record_failure(0.0)
+        assert not poisoned.allow(1.0)
+        assert healthy.allow(1.0)
+        assert registry.open_hosts(scope="campaign-poison") == ["srv.local"]
+        assert registry.open_hosts(scope="campaign-healthy") == []
+        assert registry.scopes() == ["campaign-healthy", "campaign-poison"]
+
+    def test_same_scope_shares_state_case_insensitively(self):
+        registry = BreakerRegistry()
+        assert registry.breaker("Srv.Local", scope="s") is registry.breaker(
+            "srv.local", scope="s"
+        )
+
+    def test_reset_clears_only_the_named_scope(self):
+        registry = BreakerRegistry(CircuitBreakerConfig(failure_threshold=1))
+        registry.breaker("h", scope="a").record_failure(0.0)
+        registry.breaker("h", scope="b").record_failure(0.0)
+        assert registry.reset(scope="a") == 1
+        assert registry.open_hosts(scope="a") == []
+        assert registry.open_hosts(scope="b") == ["h"]
+        assert registry.reset() == 1
+
+    def test_clients_with_distinct_scopes_do_not_share_trips(self):
+        network = SimulatedNetwork(
+            env=SimulationEnvironment(),
+            fault_plan=FaultPlan.lossy(seed=0, drop_rate=1.0),
+        )
+        network.attach(make_server())
+        registry = BreakerRegistry(
+            CircuitBreakerConfig(failure_threshold=2, reset_after_seconds=1e9)
+        )
+
+        def client_for(client_id):
+            return Client(
+                network,
+                get_profile("cable"),
+                retry_policy=RetryPolicy(max_attempts=1, jitter_fraction=0.0),
+                client_id=client_id,
+                breaker_registry=registry,
+            )
+
+        noisy = client_for("campaign-noisy")
+        quiet = client_for("campaign-quiet")
+        for _ in range(2):
+            with pytest.raises(ConnectionDropped):
+                noisy.get("http://srv.local/hello")
+        with pytest.raises(CircuitOpenError):
+            noisy.get("http://srv.local/hello")
+        # The quiet campaign still reaches the wire: its circuit is its own.
+        with pytest.raises(ConnectionDropped):
+            quiet.get("http://srv.local/hello")
+        assert registry.open_hosts(scope="campaign-noisy") == ["srv.local"]
+        assert registry.open_hosts(scope="campaign-quiet") == []
+
+    def test_shared_scope_opts_back_into_shared_state(self):
+        registry = BreakerRegistry(CircuitBreakerConfig(failure_threshold=1))
+        network = SimulatedNetwork(env=SimulationEnvironment())
+        network.attach(make_server())
+        first = Client(
+            network, get_profile("cable"),
+            client_id="c1", breaker_registry=registry, breaker_scope="pool",
+        )
+        second = Client(
+            network, get_profile("cable"),
+            client_id="c2", breaker_registry=registry, breaker_scope="pool",
+        )
+        assert first.breaker_for("srv.local") is second.breaker_for("srv.local")
 
 
 class TestNetworkFaultInjection:

@@ -1,0 +1,208 @@
+"""Property-based tests for the durable job queue's delivery invariants.
+
+A seeded random driver interleaves every operation a fleet could issue —
+claims from competing workers, acks and nacks with both live and stale
+lease tokens, lease-expiry sweeps, and arbitrary clock jumps — and after
+*every* step checks the invariants the control plane stands on:
+
+* the states partition the submitted jobs (no job lost, none duplicated);
+* no job is ever both completed and dead-lettered;
+* per-job delivery counts only ever grow, and never past the budget;
+* terminal states are final — once completed or dead, a job never moves;
+* dead-lettered jobs carry a full, non-empty failure chain.
+
+Finally the driver drains the queue and checks every job reached a
+terminal state (at-least-once delivery: nothing is stranded).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FleetError, LeaseError
+from repro.fleet.queue import COMPLETED, DEAD, IN_FLIGHT, QUEUED, JobQueue
+from repro.fleet.store import FleetStore
+
+MAX_DELIVERIES = 3
+
+
+def make_queue():
+    return JobQueue(
+        store=FleetStore(),
+        visibility_timeout=30.0,
+        max_deliveries=MAX_DELIVERIES,
+        backoff_base_seconds=2.0,
+        backoff_factor=2.0,
+        backoff_cap_seconds=8.0,
+    )
+
+
+class QueueDriver:
+    """Random-walk operator over a queue, tracking what *must* hold."""
+
+    def __init__(self, seed, num_jobs):
+        self.rng = random.Random(seed)
+        self.queue = make_queue()
+        self.now = 0.0
+        self.job_ids = [f"job-{i}" for i in range(num_jobs)]
+        for job_id in self.job_ids:
+            self.queue.submit(job_id, payload={"id": job_id}, now=0.0)
+        #: job_id -> lease tokens handed out, live and stale alike.
+        self.tokens = {job_id: [] for job_id in self.job_ids}
+        self.deliveries_seen = {job_id: 0 for job_id in self.job_ids}
+        self.terminal_seen = {}
+
+    # -- random operations -------------------------------------------------
+
+    def step(self):
+        op = self.rng.choice(
+            ("claim", "ack", "nack", "expire", "advance", "advance_far")
+        )
+        if op == "claim":
+            record = self.queue.claim(f"w{self.rng.randrange(4)}", self.now)
+            if record is not None:
+                self.tokens[record.job_id].append(record.lease_token)
+        elif op in ("ack", "nack"):
+            job_id = self.rng.choice(self.job_ids)
+            tokens = self.tokens[job_id]
+            if not tokens:
+                return
+            # Sometimes a stale token (a zombie worker), sometimes the live one.
+            token = self.rng.choice(tokens)
+            try:
+                if op == "ack":
+                    self.queue.ack(job_id, token, self.now)
+                else:
+                    self.queue.nack(
+                        job_id, token, self.now, error=f"nack at {self.now}"
+                    )
+            except LeaseError:
+                pass  # stale or expired tokens must be rejected, not crash
+        elif op == "expire":
+            self.queue.expire_leases(self.now)
+        elif op == "advance":
+            self.now += self.rng.uniform(0.5, 5.0)
+        elif op == "advance_far":
+            # Jump past any backoff gate or lease expiry.
+            self.now += self.rng.uniform(30.0, 60.0)
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self):
+        snapshot = self.queue.snapshot()
+        assert sorted(snapshot) == sorted(self.job_ids), "jobs lost or invented"
+        for job_id, (state, deliveries) in snapshot.items():
+            assert state in (QUEUED, IN_FLIGHT, COMPLETED, DEAD)
+            previous = self.deliveries_seen[job_id]
+            assert deliveries >= previous, "delivery count went backwards"
+            assert deliveries <= MAX_DELIVERIES, "delivery budget exceeded"
+            self.deliveries_seen[job_id] = deliveries
+            if job_id in self.terminal_seen:
+                assert state == self.terminal_seen[job_id], (
+                    "terminal state was not final"
+                )
+            if state in (COMPLETED, DEAD):
+                self.terminal_seen[job_id] = state
+            if state == DEAD:
+                record = self.queue.record(job_id)
+                assert record.failures, "dead letter with no failure chain"
+                assert len(record.failures) == deliveries
+
+    def drain(self):
+        """Ack everything still live until the queue reaches terminal rest."""
+        for _ in range(len(self.job_ids) * (MAX_DELIVERIES + 2) * 4):
+            if self.queue.drained:
+                break
+            self.queue.expire_leases(self.now)
+            record = self.queue.claim("drainer", self.now)
+            if record is None:
+                if self.queue.drained:
+                    # The expiry sweep above dead-lettered the last live job.
+                    break
+                next_time = self.queue.next_event_time(self.now)
+                assert next_time is not None, (
+                    "pending jobs but no future event can release them"
+                )
+                self.now = next_time
+                continue
+            try:
+                self.queue.ack(record.job_id, record.lease_token, self.now)
+            except LeaseError:
+                pass
+            self.check_invariants()
+        assert self.queue.drained
+
+
+class TestQueueInvariantsUnderRandomInterleavings:
+    @given(seed=st.integers(0, 2**32 - 1), num_jobs=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_at_every_step(self, seed, num_jobs):
+        driver = QueueDriver(seed, num_jobs)
+        driver.check_invariants()
+        for _ in range(80):
+            driver.step()
+            driver.check_invariants()
+        driver.drain()
+        # At-least-once: after the drain every job is terminal, and the
+        # completed/dead sets partition the submitted set.
+        final = driver.queue.snapshot()
+        completed = {j for j, (s, _) in final.items() if s == COMPLETED}
+        dead = {j for j, (s, _) in final.items() if s == DEAD}
+        assert completed | dead == set(driver.job_ids)
+        assert completed & dead == set()
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_store_recovery_agrees_after_random_walk(self, seed):
+        driver = QueueDriver(seed, num_jobs=4)
+        for _ in range(60):
+            driver.step()
+        rebuilt = JobQueue.recover(
+            driver.queue.store,
+            now=driver.now,
+            visibility_timeout=30.0,
+            max_deliveries=MAX_DELIVERIES,
+            backoff_base_seconds=2.0,
+            backoff_factor=2.0,
+            backoff_cap_seconds=8.0,
+        )
+        live, recovered = driver.queue.snapshot(), rebuilt.snapshot()
+        assert sorted(live) == sorted(recovered)
+        for job_id, (state, deliveries) in live.items():
+            r_state, r_deliveries = recovered[job_id]
+            assert r_deliveries == deliveries
+            if state in (COMPLETED, DEAD):
+                # Terminal states survive a control-plane restart verbatim.
+                assert r_state == state
+            elif state == IN_FLIGHT and deliveries >= MAX_DELIVERIES:
+                # The restart killed the job's *last* delivery: the
+                # interrupted attempt counts, so recovery dead-letters it.
+                assert r_state == DEAD
+            else:
+                # In-flight leases die with the plane: the job must come
+                # back as claimable, never be lost or spuriously finished.
+                assert r_state == QUEUED
+
+    def test_driver_is_deterministic_for_a_seed(self):
+        def run(seed):
+            driver = QueueDriver(seed, num_jobs=5)
+            for _ in range(100):
+                driver.step()
+            return driver.queue.snapshot()
+
+        assert run(1234) == run(1234)
+
+
+class TestQueueStoreValidation:
+    def test_corrupt_journal_line_is_a_fleet_error(self):
+        store = FleetStore()
+        queue = JobQueue(store=store)
+        queue.submit("j1", now=0.0)
+        store.files.append(store.journal_path, "not json\n")
+        try:
+            JobQueue.recover(store)
+        except FleetError:
+            pass
+        else:
+            raise AssertionError("corrupt journal must not recover silently")
