@@ -77,6 +77,7 @@ def _prepare_campaign(args) -> Campaign:
         executor=executor if executor is not None else "thread",
         chunk_size=getattr(args, "chunk_size", None),
         observe=observe,
+        arrival=getattr(args, "arrival", None),
     )
     campaign = Campaign(config=config)
     campaign.prepare(
@@ -326,6 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=None, metavar="N",
         help="participants per process-pool task (default: pending "
         "participants / (workers * 4), amortizing spawn + pickle)",
+    )
+    run.add_argument(
+        "--arrival", default=None, metavar="MODE",
+        help="participant arrival schedule: 'uniform' (steady Poisson "
+        "trickle), 'diurnal' (pay- and time-of-day-modulated), or 'flash' "
+        "(80%% of the roster in a burst — the overload stress case); "
+        "default: everyone at once. Unknown modes raise a CampaignError "
+        "listing the valid choices",
     )
     run.add_argument(
         "--observe", action="store_true",

@@ -34,11 +34,23 @@ from repro.core.integrated import IntegratedWebpage
 from repro.core.parameters import TestParameters
 from repro.core.quality import QualityConfig, QualityControl, QualityReport
 from repro.core.server import CoreServer
+from repro.crowd.arrivals import arrival_offsets
 from repro.crowd.platform import CrowdJob, CrowdPlatform
 from repro.crowd.workers import WorkerProfile
-from repro.errors import CampaignError, NetworkError, ParticipantAbandoned
+from repro.errors import (
+    CampaignError,
+    NetworkError,
+    ParticipantAbandoned,
+    ServerOverloaded,
+)
 from repro.html.dom import Document
 from repro.net.http import Request
+from repro.net.overload import (
+    OVERLOAD_HEADER,
+    RETRY_AFTER_HEADER,
+    InflightLimiter,
+    LoadSignal,
+)
 from repro.net.profiles import PROFILES, NetworkProfile
 from repro.net.simnet import Client, SimulatedNetwork
 from repro.obs import Observability, TraceClock
@@ -249,6 +261,20 @@ class Campaign:
         # installs one to journal checkpoints and heartbeat its lease; it may
         # raise to simulate the worker dying at exactly that point.
         self.checkpoint_hook = None
+        # Overload control plane: the LoadSignal built from the arrival
+        # schedule (attached to the server's admission controller before
+        # the first session), and the shared client-side backpressure gate.
+        # ``overload_pushback=True`` (set by the fleet worker) makes a
+        # terminally rejected upload raise :class:`ServerOverloaded` — so
+        # the job queue can requeue the campaign for the server-suggested
+        # Retry-After — instead of recording a degraded-mode loss.
+        self.overload_pushback = False
+        self._overload_signal: Optional[LoadSignal] = None
+        self._inflight = (
+            InflightLimiter(config.overload.max_in_flight_per_host)
+            if config.overload is not None
+            else None
+        )
         # Root span of the run in progress; participant subtrees are adopted
         # under the innermost open span from the campaign thread.
         self._root_span = None
@@ -333,6 +359,14 @@ class Campaign:
             controls_per_participant = cfg.controls_per_participant
         parallelism = cfg.parallelism if parallelism is _UNSET else parallelism
         executor = cfg.executor if executor is _UNSET else executor
+        if parallelism is None and (
+            cfg.overload is not None or cfg.arrival is not None
+        ):
+            # Arrival schedules and the overload control plane are defined
+            # over the deterministic roster fan-out (staggered session
+            # starts, precomputed LoadSignal); route there with one worker —
+            # bit-identical to any other worker count or executor.
+            parallelism = 1
         if min_participants is _UNSET:
             min_participants = cfg.min_participants
         if quorum is _UNSET:
@@ -476,6 +510,11 @@ class Campaign:
             controls_per_participant = cfg.controls_per_participant
         parallelism = cfg.parallelism if parallelism is _UNSET else parallelism
         executor = cfg.executor if executor is _UNSET else executor
+        if parallelism is None and (
+            cfg.overload is not None or cfg.arrival is not None
+        ):
+            # Same routing as run(): overload/arrival live on the fan-out.
+            parallelism = 1
         if min_participants is _UNSET:
             min_participants = cfg.min_participants
         if quorum is _UNSET:
@@ -647,6 +686,7 @@ class Campaign:
             session_start=session_start,
             tracer=self.tracer,
             metrics=self.metrics,
+            inflight=self._inflight,
         )
         trace_clock: Optional[TraceClock] = None
         if self.obs.enabled:
@@ -762,8 +802,17 @@ class Campaign:
                 uspan.set_attr("lost", reason)
                 return uspan, reason
             if not upload.ok:
-                if self._resilient and upload.status >= 500:
-                    reason = f"http:{upload.status}"
+                overloaded = bool(upload.headers.get(OVERLOAD_HEADER, ""))
+                pushback = overloaded and self.overload_pushback
+                if (
+                    self._resilient
+                    and not pushback
+                    and (upload.status >= 500 or overloaded)
+                ):
+                    reason = (
+                        f"overload:{upload.status}" if overloaded
+                        else f"http:{upload.status}"
+                    )
                     if not detached:
                         self.lost_uploads.append((worker.worker_id, reason))
                     self.metrics.add("campaign.lost_uploads", 1)
@@ -771,6 +820,21 @@ class Campaign:
                                       reason=reason)
                     uspan.set_attr("lost", reason)
                     return uspan, reason
+                if overloaded:
+                    # Surface the server-suggested delay so schedulers (the
+                    # fleet queue) can requeue with it instead of blind
+                    # exponential backoff.
+                    try:
+                        suggested = float(
+                            upload.headers.get(RETRY_AFTER_HEADER, "0") or 0.0
+                        )
+                    except ValueError:
+                        suggested = 0.0
+                    raise ServerOverloaded(
+                        f"upload for {worker.worker_id} rejected under "
+                        f"overload: {upload.text}",
+                        retry_after=suggested,
+                    )
                 raise CampaignError(
                     f"upload for {worker.worker_id} failed: {upload.text}"
                 )
@@ -834,6 +898,27 @@ class Campaign:
         if self.checkpoint_hook is not None:
             self.checkpoint_hook(self)
 
+    def _install_overload(self, offsets, session_start: float = 0.0) -> None:
+        """Build the arrival-derived :class:`LoadSignal` and attach it to
+        the server's admission controller.
+
+        No-op without an overload config. ``offsets`` are roster-relative;
+        anchoring them at ``session_start`` keeps the signal's windows on
+        the same absolute virtual timeline the clients' session clocks use,
+        so a pure ``window_of(now)`` lookup is all a decision needs.
+        """
+        if self.config.overload is None:
+            return
+        admission = self.server.http.admission
+        if admission is None:
+            return
+        anchored = [session_start + float(o) for o in offsets]
+        signal = LoadSignal.from_offsets(
+            anchored or [session_start], self.config.overload
+        )
+        admission.attach_signal(signal)
+        self._overload_signal = signal
+
     def _run_participants_deterministic(
         self,
         workers: Sequence[WorkerProfile],
@@ -890,11 +975,22 @@ class Campaign:
         # Captured once before the fan-out so every client's session clock has
         # the same thread-order-free anchor.
         session_start = self.env.now
+        # The arrival schedule staggers session starts per *full-roster*
+        # index (resume keeps alignment: a redelivered job derives the same
+        # offsets), and drives the admission controller's load signal.
+        offsets = arrival_offsets(
+            self.config.arrival, len(workers), self.config.seed,
+            reward_usd=self.config.reward_usd,
+        )
+        self._install_overload(offsets, session_start)
 
         def simulate(index: int):
             return self._simulate_participant(
                 workers[index], judge, controls_per_participant,
-                streams[index], in_lab=in_lab, session_start=session_start,
+                streams[index], in_lab=in_lab,
+                session_start=session_start + (
+                    offsets[index] if index < len(offsets) else 0.0
+                ),
                 trace_index=index,
             )
 
@@ -921,6 +1017,7 @@ class Campaign:
                         session_start=session_start,
                         root_entropy=root_entropy,
                         in_lab=in_lab,
+                        arrival_offsets=offsets,
                     )
             else:
                 with self.metrics.timed("campaign.parallel_fanout"):
@@ -1138,6 +1235,7 @@ class Campaign:
             cspan.set_attr("complete", len(complete))
             cspan.set_attr("uploaded", len(raw))
             cspan.set_attr("degraded", conclusion.is_degraded)
+            self._record_overload_observations()
             if not conclusion.quorum_met:
                 raise CampaignError(
                     "campaign degraded below the conclusion floor: "
@@ -1155,6 +1253,50 @@ class Campaign:
                 total_cost_usd=job.total_cost_usd if job is not None else 0.0,
                 conclusion=conclusion,
                 resume_state=self.resume_state(),
+            )
+
+    def _record_overload_observations(self) -> None:
+        """Export the overload control plane's run into the trace + metrics.
+
+        Ladder-state transitions and the shed/rejected/deferred totals
+        become span events on a dedicated ``overload`` span, and the
+        signal's whole-run summaries become gauges. Everything comes from
+        the precomputed :class:`LoadSignal` series and the order-free
+        traffic counters, so the export is byte-identical across executor
+        modes and worker counts.
+        """
+        signal = self._overload_signal
+        if signal is None:
+            return
+        stats = self.network.stats
+        self.metrics.set_gauge(
+            "overload.max_queue_depth", round(signal.max_queue_depth(), 4)
+        )
+        self.metrics.set_gauge(
+            "overload.peak_utilization", round(signal.peak_utilization(), 4)
+        )
+        self.metrics.set_gauge("overload.rejections", stats.rejections)
+        self.metrics.set_gauge("overload.deferrals", stats.deferrals)
+        self.metrics.set_gauge("overload.shed_responses", stats.shed_responses)
+        self.metrics.set_gauge("overload.timeouts", stats.overload_timeouts)
+        with self.tracer.span(
+            "overload", category="overload",
+            protected=self.config.overload.protected,
+            windows=len(signal),
+        ) as ospan:
+            for transition in signal.transitions():
+                ospan.add_event(
+                    "overload:transition",
+                    time=transition["time"],
+                    **{"from": transition["from"], "to": transition["to"]},
+                )
+            ospan.add_event(
+                "overload:counts",
+                time=self.env.now,
+                rejected=stats.rejections,
+                deferred=stats.deferrals,
+                shed=stats.shed_responses,
+                timeouts=stats.overload_timeouts,
             )
 
     def resume_state(self) -> Optional[dict]:

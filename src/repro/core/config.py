@@ -28,8 +28,10 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
+from repro.crowd.arrivals import ARRIVAL_MODES, validate_arrival_mode
 from repro.errors import ValidationError
 from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
+from repro.net.overload import OverloadConfig
 from repro.util.executors import EXECUTOR_MODES
 
 #: Default core-server hostname (the paper's single-server deployment).
@@ -108,6 +110,13 @@ class CampaignConfig:
     observe: bool = False
     #: Core-server hostname.
     host: str = DEFAULT_HOST
+    #: Participant arrival schedule: ``None`` = legacy everyone-at-once;
+    #: ``"uniform"``/``"diurnal"``/``"flash"`` stagger session starts via
+    #: :func:`repro.crowd.arrivals.arrival_offsets`.
+    arrival: Optional[str] = None
+    #: Server-side overload control plane (admission queue, token-bucket
+    #: rate limiter, load-shedding ladder); ``None`` = accept everything.
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self):
         if self.parallelism is not None and self.parallelism < 1:
@@ -138,6 +147,8 @@ class CampaignConfig:
             raise ValidationError("reward_usd must be >= 0")
         if not self.host:
             raise ValidationError("host must be non-empty")
+        # Raises CampaignError with the valid choices on unknown values.
+        validate_arrival_mode(self.arrival)
 
     # -- derivation ---------------------------------------------------------
 
@@ -152,6 +163,7 @@ class CampaignConfig:
             (self.fault_plan is not None and not self.fault_plan.is_none)
             or self.retry_policy is not None
             or self.dropout_rate > 0.0
+            or self.overload is not None
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -184,4 +196,8 @@ class CampaignConfig:
             "chunk_size": self.chunk_size,
             "observe": self.observe,
             "host": self.host,
+            "arrival": self.arrival,
+            "overload": (
+                None if self.overload is None else self.overload.to_dict()
+            ),
         }

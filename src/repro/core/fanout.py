@@ -134,6 +134,9 @@ class FanoutSpec:
     controls_per_participant: int
     root_entropy: int
     session_start: float
+    # Per-roster-index arrival offsets (seconds after session_start); also
+    # the offered-load schedule the overload LoadSignal is rebuilt from.
+    arrival_offsets: tuple = ()
     in_lab: bool = False
     randomize_orientation: bool = False
     # Live campaign knobs (may have been overridden after construction).
@@ -179,6 +182,7 @@ def build_spec(
     root_entropy: int,
     session_start: float,
     in_lab: bool = False,
+    arrival_offsets: Sequence[float] = (),
 ) -> FanoutSpec:
     """Snapshot a prepared campaign into a picklable :class:`FanoutSpec`."""
     prepared = campaign._require_prepared()
@@ -216,6 +220,7 @@ def build_spec(
         controls_per_participant=controls_per_participant,
         root_entropy=root_entropy,
         session_start=session_start,
+        arrival_offsets=tuple(arrival_offsets),
         in_lab=in_lab,
         randomize_orientation=getattr(campaign, "_randomize_orientation", False),
         fault_plan=campaign.network.faults,
@@ -299,6 +304,10 @@ class _WorkerRuntime:
                 campaign.artifacts.seed_entries(self.entries)
         campaign.prepared = spec.prepared
         campaign._randomize_orientation = spec.randomize_orientation
+        # Rebuild the overload LoadSignal from the shipped arrival schedule:
+        # a pure function of (offsets, session_start, frozen config), so
+        # every worker process derives the identical admission series.
+        campaign._install_overload(spec.arrival_offsets, spec.session_start)
         return campaign
 
     def run_chunk(self, indices: Sequence[int]) -> ChunkOutcome:
@@ -311,13 +320,18 @@ class _WorkerRuntime:
             for index in indices:
                 worker = spec.workers[index]
                 rng = np.random.default_rng(self.streams[index])
+                offset = (
+                    spec.arrival_offsets[index]
+                    if index < len(spec.arrival_offsets)
+                    else 0.0
+                )
                 result, client, pspan = campaign._simulate_participant(
                     worker,
                     spec.judge,
                     spec.controls_per_participant,
                     rng,
                     in_lab=spec.in_lab,
-                    session_start=spec.session_start,
+                    session_start=spec.session_start + offset,
                     trace_index=index,
                 )
                 uspan, lost_reason = campaign._upload_result(
@@ -415,6 +429,7 @@ def run_process_fanout(
     session_start: float,
     root_entropy: int,
     in_lab: bool = False,
+    arrival_offsets: Sequence[float] = (),
 ) -> None:
     """Simulate ``pending`` roster indices across a process pool.
 
@@ -432,6 +447,7 @@ def run_process_fanout(
         root_entropy=root_entropy,
         session_start=session_start,
         in_lab=in_lab,
+        arrival_offsets=arrival_offsets,
     )
     chunks = chunk_indices(pending, pool_size, campaign.config.chunk_size)
     max_workers = max(1, min(pool_size, len(chunks)))

@@ -33,6 +33,7 @@ from repro.core.config import DEFAULT_HOST
 from repro.core.extension import ParticipantResult
 from repro.errors import StorageError
 from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response, Router
+from repro.net.overload import AdmissionController
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
@@ -66,6 +67,14 @@ class CoreServer:
         self._counting = metrics is not None
         self.metrics = metrics if metrics is not None else GLOBAL_METRICS
         self.http = HttpServer(host, self._build_router())
+        # The overload control plane guards every route when configured.
+        # Built purely from the frozen config, so each process-pool worker
+        # and fleet redelivery reconstructs an identical controller; the
+        # campaign attaches the arrival-derived LoadSignal before the first
+        # participant session.
+        overload = getattr(config, "overload", None) if config is not None else None
+        if overload is not None:
+            self.http.admission = AdmissionController(overload, metrics=metrics)
 
     # -- plumbing ---------------------------------------------------------
 
@@ -108,7 +117,9 @@ class CoreServer:
             content = self.storage.read(path)
         except StorageError:
             return Response.not_found(path)
-        if self._counting:
+        decision = getattr(request, "admission", None)
+        # Ladder rung 1: shed optional per-request accounting detail first.
+        if self._counting and (decision is None or not decision.shed_detail):
             self.metrics.add("server.resource_reads", 1)
         content_type = "text/html" if path.endswith(".html") else "text/plain"
         return Response.text_response(content, content_type)
@@ -122,8 +133,26 @@ class CoreServer:
         except (KeyError, TypeError, ValueError) as exc:
             return Response.bad_request(f"malformed response upload: {exc}")
         tests = self.database.collection(TESTS_COLLECTION)
-        if tests.find_one({"test_id": result.test_id}) is None:
+        record = tests.find_one({"test_id": result.test_id})
+        if record is None:
             return Response.bad_request(f"unknown test {result.test_id!r}")
+        # Ladder rung 2: the deep upload-time quality screen runs whenever
+        # an admission controller is installed, but under the "sample-qc"
+        # rung (and above) a stable hash lottery skips a fraction of them
+        # to shed CPU before the server has to defer or reject.
+        decision = getattr(request, "admission", None)
+        if decision is not None:
+            if decision.qc_skipped:
+                if self._counting:
+                    self.metrics.add("server.qc_skipped", 1)
+            else:
+                if self._counting:
+                    self.metrics.add("server.qc_checks", 1)
+                problem = self._screen_upload(result, record)
+                if problem:
+                    if self._counting:
+                        self.metrics.add("server.qc_rejects", 1)
+                    return Response.bad_request(f"quality screen: {problem}")
         responses = self.database.collection(RESPONSES_COLLECTION)
         # Idempotent replay: a retried upload whose first ack was lost in
         # flight carries the same client-generated token; answer "stored"
@@ -163,6 +192,28 @@ class CoreServer:
         return Response.json_response(
             {"status": "stored", "worker_id": result.worker_id}, status=201
         )
+
+    @staticmethod
+    def _screen_upload(result: ParticipantResult, record: dict) -> str:
+        """Deep quality-control screen for one upload; "" when clean.
+
+        Checks the answers against the test's declared questions and flags
+        duplicate (page, question) pairs — the per-upload work the ladder's
+        ``sample-qc`` rung sheds under load.
+        """
+        declared = {
+            q.get("question_id")
+            for q in record.get("parameters", {}).get("question", [])
+        }
+        seen = set()
+        for answer in result.answers:
+            if declared and answer.question_id not in declared:
+                return f"unknown question {answer.question_id!r}"
+            key = (answer.integrated_id, answer.question_id)
+            if key in seen:
+                return f"duplicate answer for {key!r}"
+            seen.add(key)
+        return ""
 
     # -- function 4: conclude results -------------------------------------------
 

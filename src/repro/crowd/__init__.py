@@ -26,6 +26,7 @@ from repro.crowd.judgment import (
     UPLTPerceptionModel,
 )
 from repro.crowd.behavior import BehaviorTrace, sample_behavior
+from repro.crowd.arrivals import ARRIVAL_MODES, arrival_offsets, validate_arrival_mode
 from repro.crowd.platform import CrowdJob, CrowdPlatform, matches_target
 from repro.crowd.inlab import InLabStudy
 from repro.crowd.multiplatform import ParallelRecruiter, PlatformChannel, default_channel
@@ -45,6 +46,9 @@ __all__ = [
     "UPLTPerceptionModel",
     "BehaviorTrace",
     "sample_behavior",
+    "ARRIVAL_MODES",
+    "arrival_offsets",
+    "validate_arrival_mode",
     "CrowdJob",
     "CrowdPlatform",
     "matches_target",

@@ -1,0 +1,105 @@
+"""Seeded participant-arrival schedules for campaign sessions.
+
+The paper's load is defined by *when participants show up*: EYEORG reports
+spiky arrival waves when a campaign goes live, and the platform model in
+:mod:`repro.crowd.platform` recruits via a non-homogeneous diurnal Poisson
+process. This module turns those arrival processes into something a
+campaign can consume directly — a tuple of per-participant session-start
+*offsets* (seconds after campaign start, keyed by full-roster index), pure
+in ``(mode, count, seed, reward)`` so every executor mode and fleet worker
+derives the identical schedule.
+
+Three shapes, selectable via ``CampaignConfig.arrival`` /
+``kaleidoscope run --arrival``:
+
+* ``uniform`` — constant-rate Poisson arrivals at a session-scale pace:
+  the steady trickle an established campaign sees;
+* ``diurnal`` — the platform's own recruitment process (reward-elastic
+  rate with the day/night factor from
+  :func:`repro.crowd.platform.arrival_rate_per_hour`), hours-scale
+  realism for conclusion-latency studies;
+* ``flash`` — a flash crowd: the bulk of the roster lands within roughly
+  one session length of campaign start (tight exponential gaps), the rest
+  trickle in behind them. This is the arrival process the overload
+  control plane (:mod:`repro.net.overload`) is benchmarked against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CampaignError
+from repro.crowd.platform import BASE_ARRIVALS_PER_HOUR, arrival_rate_per_hour
+from repro.sim.clock import SECONDS_PER_HOUR
+
+#: Valid ``CampaignConfig.arrival`` values.
+ARRIVAL_MODES = ("uniform", "diurnal", "flash")
+
+#: uniform: mean seconds between arrivals at the reference reward.
+UNIFORM_MEAN_GAP_SECONDS = 30.0
+#: flash: mean seconds between arrivals inside the burst...
+FLASH_MEAN_GAP_SECONDS = 3.0
+#: ...which holds the first this fraction of the roster; stragglers behind
+#: the burst arrive at the uniform pace.
+FLASH_FRACTION = 0.8
+
+# Domain-separation tags so the three modes never share RNG streams.
+_MODE_TAGS = {"uniform": 1, "diurnal": 2, "flash": 3}
+
+
+def validate_arrival_mode(mode: Optional[str]) -> Optional[str]:
+    """Return ``mode`` if valid (or None); raise ``CampaignError`` otherwise."""
+    if mode is None or mode in ARRIVAL_MODES:
+        return mode
+    raise CampaignError(
+        f"unknown arrival mode {mode!r}: expected one of {', '.join(ARRIVAL_MODES)}"
+    )
+
+
+def arrival_offsets(
+    mode: Optional[str],
+    count: int,
+    seed: Optional[int],
+    reward_usd: float = 0.10,
+    base_rate_per_hour: float = BASE_ARRIVALS_PER_HOUR,
+) -> Tuple[float, ...]:
+    """Per-participant session-start offsets (seconds), roster-indexed.
+
+    A pure function of its arguments: the RNG is rebuilt from
+    ``SeedSequence([tag(mode), seed, count])`` on every call, so the parent
+    campaign, every process-pool worker, and every fleet redelivery compute
+    byte-identical schedules. ``mode=None`` is the legacy everyone-at-once
+    schedule (all zeros).
+    """
+    validate_arrival_mode(mode)
+    count = int(count)
+    if count <= 0:
+        return ()
+    if mode is None:
+        return (0.0,) * count
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_MODE_TAGS[mode], int(seed or 0) & 0xFFFFFFFF, count])
+    )
+    pay_factor = (max(reward_usd, 0.01) / 0.10) ** 0.6
+    offsets = []
+    now = 0.0
+    for index in range(count):
+        if mode == "uniform":
+            gap = float(rng.exponential(UNIFORM_MEAN_GAP_SECONDS / pay_factor))
+        elif mode == "flash":
+            in_burst = index < max(1, int(round(count * FLASH_FRACTION)))
+            mean = FLASH_MEAN_GAP_SECONDS if in_burst else UNIFORM_MEAN_GAP_SECONDS
+            gap = float(rng.exponential(mean / pay_factor))
+        else:  # diurnal — the platform's own recruitment process
+            hour_of_day = (now / SECONDS_PER_HOUR) % 24.0
+            rate = arrival_rate_per_hour(
+                reward_usd, hour_of_day, base_rate_per_hour=base_rate_per_hour
+            )
+            gap = float(rng.exponential(1.0 / max(rate, 1e-9))) * SECONDS_PER_HOUR
+        now += gap
+        offsets.append(round(now, 6))
+    # First arrival defines campaign start: shift so the schedule begins at 0.
+    first = offsets[0]
+    return tuple(round(value - first, 6) for value in offsets)

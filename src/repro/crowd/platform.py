@@ -33,6 +33,24 @@ REFERENCE_REWARD_USD = 0.10
 BASE_ARRIVALS_PER_HOUR = 8.3
 
 
+def arrival_rate_per_hour(
+    reward_usd: float,
+    hour_of_day: float,
+    base_rate_per_hour: float = BASE_ARRIVALS_PER_HOUR,
+) -> float:
+    """Instantaneous worker-arrival rate at a given reward and hour.
+
+    Reward elasticity is sublinear (doubling pay does not double uptake); a
+    diurnal factor models the platform's quiet hours. Module-level so other
+    arrival processes (:mod:`repro.crowd.arrivals`) can reuse the exact
+    machinery the platform recruits with.
+    """
+    pay_factor = (max(reward_usd, 0.01) / REFERENCE_REWARD_USD) ** 0.6
+    # Diurnal: global worker pool dips to ~60% in the trough.
+    diurnal = 0.8 + 0.2 * np.sin(2.0 * np.pi * (hour_of_day - 14.0) / 24.0)
+    return base_rate_per_hour * pay_factor * float(diurnal)
+
+
 @dataclass
 class Recruitment:
     """One worker joining a job."""
@@ -165,17 +183,14 @@ class CrowdPlatform:
     # -- recruitment dynamics -------------------------------------------------
 
     def arrival_rate_per_hour(self, reward_usd: float, hour_of_day: float) -> float:
-        """Instantaneous arrival rate.
+        """Instantaneous arrival rate at this platform's base rate.
 
-        Reward elasticity is sublinear (doubling pay does not double uptake);
-        a diurnal factor models the platform's quiet hours. The paper notes
-        Kaleidoscope could be sped up "via higher rewards and/or additional
-        crowdsourcing websites" — both are knobs here.
+        The paper notes Kaleidoscope could be sped up "via higher rewards
+        and/or additional crowdsourcing websites" — both are knobs here.
         """
-        pay_factor = (max(reward_usd, 0.01) / REFERENCE_REWARD_USD) ** 0.6
-        # Diurnal: global worker pool dips to ~60% in the trough.
-        diurnal = 0.8 + 0.2 * np.sin(2.0 * np.pi * (hour_of_day - 14.0) / 24.0)
-        return self.base_rate_per_hour * pay_factor * float(diurnal)
+        return arrival_rate_per_hour(
+            reward_usd, hour_of_day, base_rate_per_hour=self.base_rate_per_hour
+        )
 
     def run_recruitment(
         self,

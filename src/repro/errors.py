@@ -104,6 +104,21 @@ class CampaignError(ReproError):
     before any responses were collected)."""
 
 
+class ServerOverloaded(CampaignError):
+    """Raised when a campaign-critical request was terminally rejected by
+    the server's admission controller (429/503 with ``Retry-After`` after
+    the client's retries ran out).
+
+    Carries the server-suggested ``retry_after`` delay so schedulers — the
+    fleet queue in particular — can requeue with the server's hint instead
+    of blind exponential backoff.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class ExtensionError(ReproError):
     """Raised by the simulated browser extension for protocol violations
     (e.g. advancing to the next integrated webpage with unanswered questions)."""

@@ -273,13 +273,26 @@ class JobQueue:
         return record
 
     def nack(
-        self, job_id: str, lease_token: str, now: float, error: str = ""
+        self,
+        job_id: str,
+        lease_token: str,
+        now: float,
+        error: str = "",
+        retry_after: Optional[float] = None,
     ) -> JobRecord:
         """Report a failed delivery: requeue with backoff, or dead-letter
-        once the delivery budget is exhausted."""
+        once the delivery budget is exhausted.
+
+        ``retry_after`` overrides the blind exponential backoff with a
+        server-suggested delay — the queue's half of overload cooperation:
+        a 429'd campaign is redelivered exactly when the server said it
+        would have capacity again, not at some unrelated power of two.
+        """
         record = self._validate_lease(job_id, lease_token, now, "nack")
         self.metrics.add("fleet.nacks", 1)
-        return self._fail_delivery(record, now, error or "nacked by worker")
+        return self._fail_delivery(
+            record, now, error or "nacked by worker", retry_after=retry_after
+        )
 
     def expire_leases(self, now: float) -> List[str]:
         """Reap every lease past its expiry; returns the affected job ids.
@@ -338,7 +351,12 @@ class JobQueue:
         return record
 
     def _fail_delivery(
-        self, record: JobRecord, now: float, error: str, event: str = "nack"
+        self,
+        record: JobRecord,
+        now: float,
+        error: str,
+        event: str = "nack",
+        retry_after: Optional[float] = None,
     ) -> JobRecord:
         record.failures.append(
             {"delivery": record.deliveries, "time": float(now), "error": error}
@@ -364,7 +382,10 @@ class JobQueue:
             )
         else:
             record.state = QUEUED
-            record.not_before = now + self.backoff_seconds(record.deliveries)
+            if retry_after is not None:
+                record.not_before = now + max(0.0, float(retry_after))
+            else:
+                record.not_before = now + self.backoff_seconds(record.deliveries)
             self._journal(
                 event, record, now, error=error, not_before=record.not_before
             )

@@ -178,6 +178,10 @@ class FleetWorker:
         )
         checkpoint = self.store.load_checkpoint(record.job_id)
         campaign = submission.build_campaign()
+        # Fleet jobs are redeliverable: let a terminally 429'd upload raise
+        # ServerOverloaded so the queue can requeue the campaign for the
+        # server's own Retry-After rather than degrading the conclusion.
+        campaign.overload_pushback = True
         hook_calls = [0]
 
         def checkpoint_hook(running_campaign):
@@ -220,13 +224,26 @@ class FleetWorker:
             fail_time = now + campaign.env.now + DISPATCH_OVERHEAD_SECONDS
             error = f"{type(exc).__name__}: {exc}"
             failed = outcome("failed", fail_time, error=error)
+            # Overload pushback (ServerOverloaded) carries the server's own
+            # Retry-After; requeue for exactly then instead of exponential
+            # backoff, and leave the breaker alone — a 429 means the host is
+            # alive and telling us when to come back, not failing.
+            retry_after = getattr(exc, "retry_after", None)
+            if retry_after is not None:
+                self.obs.metrics.add("fleet.overload_nacks", 1)
+                self.obs.tracer.event(
+                    "overload_nack",
+                    job_id=record.job_id,
+                    retry_after=float(retry_after),
+                )
 
             def finalize_failed():
-                if breaker is not None:
+                if breaker is not None and retry_after is None:
                     breaker.record_failure(fail_time)
                 try:
                     self.queue.nack(
-                        record.job_id, record.lease_token, fail_time, error=error
+                        record.job_id, record.lease_token, fail_time,
+                        error=error, retry_after=retry_after,
                     )
                 except LeaseError as lease_exc:
                     failed.status = "superseded"

@@ -21,6 +21,14 @@ from repro.net.faults import (
     OutageWindow,
     RetryPolicy,
 )
+from repro.net.overload import (
+    AdmissionController,
+    AdmissionDecision,
+    InflightLimiter,
+    LoadSignal,
+    OverloadConfig,
+    RateLimiter,
+)
 
 __all__ = [
     "NetworkProfile",
@@ -42,4 +50,10 @@ __all__ = [
     "FaultRule",
     "OutageWindow",
     "RetryPolicy",
+    "AdmissionController",
+    "AdmissionDecision",
+    "InflightLimiter",
+    "LoadSignal",
+    "OverloadConfig",
+    "RateLimiter",
 ]

@@ -303,6 +303,21 @@ class CircuitBreaker:
         self.state = self.CLOSED
         self.consecutive_failures = 0
 
+    def record(self, status: int, now: float) -> None:
+        """Outcome-aware recording by HTTP status.
+
+        5xx responses count as failures; 429 (and overload pushback mapped
+        to it) is *neutral* — the server is alive and explicitly asking for
+        patience, so tripping the breaker would turn backpressure into an
+        outage. Everything else closes the circuit as a success.
+        """
+        if status == 429:
+            return
+        if status >= 500:
+            self.record_failure(now)
+        else:
+            self.record_success()
+
 
 class BreakerRegistry:
     """Circuit breakers keyed by ``(scope, host)``.

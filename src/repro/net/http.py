@@ -26,6 +26,7 @@ STATUS_REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
@@ -230,6 +231,8 @@ class HttpServer:
         self.router = router if router is not None else Router()
         self.request_log: List[Tuple[str, str]] = []  # (method, path)
         self._open = True
+        # Optional repro.net.overload.AdmissionController guarding dispatch.
+        self.admission = None
 
     def close(self) -> None:
         """Stop accepting requests (subsequent calls raise NetworkError)."""
@@ -239,9 +242,24 @@ class HttpServer:
         """Resume accepting requests after a close (a server restart)."""
         self._open = True
 
-    def handle(self, request: Request) -> Response:
-        """Dispatch one request through the router."""
+    def handle(self, request: Request, now: float = 0.0, token: str = "") -> Response:
+        """Dispatch one request through the router.
+
+        ``now`` is the caller's virtual time and ``token`` its stable
+        request token; both feed the admission controller (when one is
+        installed), whose verdicts are pure functions of them. Rejected or
+        deferred requests never reach the router; admitted requests carry
+        their :class:`~repro.net.overload.AdmissionDecision` as
+        ``request.admission`` so handlers can shed detail or sample QC.
+        """
         if not self._open:
             raise NetworkError(f"server {self.host!r} is closed")
         self.request_log.append((request.method, request.path))
-        return self.router.dispatch(request)
+        admission = self.admission
+        if admission is None:
+            return self.router.dispatch(request)
+        decision = admission.decide(request, now, token)
+        if decision.response is not None:
+            return decision.response
+        request.admission = decision
+        return admission.annotate(self.router.dispatch(request), decision)

@@ -38,6 +38,13 @@ from repro.net.faults import (
     RetryPolicy,
 )
 from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response
+from repro.net.overload import (
+    LADDER_HEADER,
+    OVERLOAD_HEADER,
+    QUEUE_DELAY_MS_HEADER,
+    RETRY_AFTER_HEADER,
+    TIMED_OUT_HEADER,
+)
 from repro.net.profiles import NetworkProfile, get_profile
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.tracing import NULL_TRACER
@@ -77,6 +84,12 @@ class TrafficStats:
     timeouts: int = 0
     injected_errors: int = 0
     latency_spikes: int = 0
+    # Overload control plane (all integer so merges stay order-free):
+    rejections: int = 0         # 429s from the admission controller
+    deferrals: int = 0          # 503s from the ladder's "defer" rung
+    shed_responses: int = 0     # answered, but in a degraded ladder state
+    overload_timeouts: int = 0  # unprotected-queue responses lost in flight
+    queue_delay_ms: int = 0     # total virtual admission-queue wait
 
     def merge(self, other: "TrafficStats") -> None:
         """Fold another network's counters into this one (pure sums, so the
@@ -191,7 +204,7 @@ class SimulatedNetwork:
                 return self._commit(request, host, response, profile, fault=FAULT_5XX)
 
             try:
-                response = server.handle(request)
+                response = server.handle(request, now=when, token=fault_token)
             except NetworkError as exc:
                 # Connection refused (closed server): burns one RTT.
                 elapsed = profile.rtt_ms / 1000.0
@@ -226,6 +239,42 @@ class SimulatedNetwork:
                     f"request to {host}{request.path} timed out after {elapsed:.1f}s",
                     elapsed_seconds=elapsed,
                 )
+            timeout_ms = response.headers.get(TIMED_OUT_HEADER)
+            if timeout_ms is not None:
+                # The unprotected admission queue grew past the client's
+                # patience: the server handled the request (side effects
+                # stand) but the response is lost in flight, exactly like an
+                # injected timeout — the shape of queue collapse.
+                elapsed = (
+                    profile.request_seconds(request.size_bytes, response.size_bytes)
+                    + int(timeout_ms) / 1000.0
+                )
+                self.log.append(
+                    ExchangeRecord(
+                        time=clock_now,
+                        host=host,
+                        method=request.method,
+                        path=request.path,
+                        status=0,
+                        elapsed_seconds=elapsed,
+                        request_bytes=request.size_bytes,
+                        response_bytes=0,
+                        fault="overload-timeout",
+                    )
+                )
+                self.stats.requests += 1
+                self.stats.bytes_up += request.size_bytes
+                self.stats.errors += 1
+                self.stats.timeouts += 1
+                self.stats.overload_timeouts += 1
+                self.metrics.add("net.overload.timeout", 1)
+                self.tracer.event("overload:timeout", host=host, path=request.path)
+                self._advance(elapsed)
+                raise errors.TimeoutError(
+                    f"request to {host}{request.path} timed out in the "
+                    f"overloaded queue after {elapsed:.1f}s",
+                    elapsed_seconds=elapsed,
+                )
             latency_fault = decision is not None and decision.kind == FAULT_LATENCY
             return self._commit(
                 request, host, response, profile,
@@ -247,6 +296,9 @@ class SimulatedNetwork:
         """Account for one completed exchange (called under the lock)."""
         elapsed = profile.request_seconds(request.size_bytes, response.size_bytes)
         elapsed *= latency_multiplier
+        # Virtual time the request spent in the server's admission queue.
+        queue_delay_ms = int(response.headers.get(QUEUE_DELAY_MS_HEADER, "0") or 0)
+        elapsed += queue_delay_ms / 1000.0
         self.log.append(
             ExchangeRecord(
                 time=self.env.now if self.env is not None else 0.0,
@@ -265,6 +317,19 @@ class SimulatedNetwork:
         self.stats.bytes_down += response.size_bytes
         if not response.ok:
             self.stats.errors += 1
+        self.stats.queue_delay_ms += queue_delay_ms
+        overload = response.headers.get(OVERLOAD_HEADER, "")
+        if overload == "reject":
+            self.stats.rejections += 1
+            self.metrics.add("net.overload.rejected", 1)
+            self.tracer.event("overload:reject", host=host, path=request.path)
+        elif overload == "defer":
+            self.stats.deferrals += 1
+            self.metrics.add("net.overload.deferred", 1)
+            self.tracer.event("overload:defer", host=host, path=request.path)
+        elif LADDER_HEADER in response.headers:
+            self.stats.shed_responses += 1
+            self.metrics.add("net.overload.shed", 1)
         if fault:
             self.stats.faults_injected += 1
             if fault == FAULT_5XX:
@@ -362,6 +427,7 @@ class Client:
         metrics=None,
         breaker_registry=None,
         breaker_scope: Optional[str] = None,
+        inflight=None,
     ):
         self.network = network
         self.profile = profile
@@ -384,11 +450,18 @@ class Client:
         # The participant's TraceClock (session time + viewing time); set by
         # the campaign on observed runs, used as the exchange spans' clock.
         self.trace_clock = None
+        # Optional shared InflightLimiter: bounds this client's (and its
+        # siblings') concurrent in-flight requests per host — backpressure
+        # against the server, applied before the exchange ever starts.
+        self.inflight = inflight
         self.total_transfer_seconds = 0.0
         self.backoff_seconds = 0.0
         self.requests_made = 0
         self.retries = 0
         self.failed_requests = 0
+        # Overload pushback (429/deferral) counted separately from faults:
+        # the server is alive and asking for patience, not failing.
+        self.rejected_requests = 0
         self._seq = 0
         self._breakers: Dict[str, CircuitBreaker] = {}
         if session_start is None:
@@ -434,10 +507,17 @@ class Client:
                 method=request.method, path=request.path, attempt=attempt,
             ) as span:
                 try:
-                    response, elapsed = self.network.exchange(
-                        request, self.profile, now=self.session_now,
-                        fault_token=token,
-                    )
+                    if self.inflight is not None:
+                        with self.inflight.held(host):
+                            response, elapsed = self.network.exchange(
+                                request, self.profile, now=self.session_now,
+                                fault_token=token,
+                            )
+                    else:
+                        response, elapsed = self.network.exchange(
+                            request, self.profile, now=self.session_now,
+                            fault_token=token,
+                        )
                 except NetworkError as exc:
                     # The failed attempt still consumed the participant's time.
                     self.requests_made += 1
@@ -458,24 +538,55 @@ class Client:
                 if retryable and self._backoff(policy, attempt):
                     continue
                 raise failure
-            if response.status in policy.retry_on_status:
-                self.failed_requests += 1
+            overload = response.headers.get(OVERLOAD_HEADER, "")
+            if overload or response.status in policy.retry_on_status:
+                retry_after = 0.0
+                if overload:
+                    # Server pushback, not a fault: count it separately and
+                    # honor the occupancy-derived Retry-After. A rejected or
+                    # deferred request never reached a handler, so retrying
+                    # is safe even without an idempotency token.
+                    self.rejected_requests += 1
+                    self.metrics.add("net.overload_rejections", 1)
+                    try:
+                        retry_after = float(
+                            response.headers.get(RETRY_AFTER_HEADER, "0") or 0.0
+                        )
+                    except ValueError:
+                        retry_after = 0.0
+                else:
+                    self.failed_requests += 1
                 if breaker is not None:
-                    breaker.record_failure(self.session_now)
-                if retryable and self._backoff(policy, attempt):
+                    breaker.record(
+                        429 if overload else response.status, self.session_now
+                    )
+                if (retryable or bool(overload)) and self._backoff(
+                    policy, attempt, retry_after=retry_after
+                ):
                     continue
                 return response
             if breaker is not None:
                 breaker.record_success()
             return response
 
-    def _backoff(self, policy: RetryPolicy, attempt: int) -> bool:
-        """Wait before retrying; False when attempts or budget are spent."""
+    def _backoff(
+        self, policy: RetryPolicy, attempt: int, retry_after: float = 0.0
+    ) -> bool:
+        """Wait before retrying; False when attempts or budget are spent.
+
+        The wait is the policy's exponential backoff or the server's
+        ``Retry-After`` hint, whichever is longer — capped by whatever is
+        left of the retry budget, so a sleep can never overrun it.
+        """
         if attempt >= policy.max_attempts:
             return False
         delay = policy.backoff_seconds(attempt, rng=self.rng)
-        if self.backoff_seconds + delay > policy.retry_budget_seconds:
+        if retry_after > 0:
+            delay = max(delay, retry_after)
+        remaining = policy.retry_budget_seconds - self.backoff_seconds
+        if remaining <= 0:
             return False
+        delay = min(delay, remaining)
         self.backoff_seconds += delay
         self.network.wait(delay)
         self.retries += 1

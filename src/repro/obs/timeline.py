@@ -220,6 +220,14 @@ _REQUIRED_BY_PHASE = {
     PHASE_METADATA: ("name", "pid", "args"),
 }
 
+#: Overload-plane instant events carry structured args the dashboard keys
+#: on; the validator enforces them so a silent producer regression cannot
+#: ship a timeline the overload panels render as empty.
+_REQUIRED_EVENT_ARGS = {
+    "overload:transition": ("from", "to"),
+    "overload:counts": ("rejected", "deferred", "shed"),
+}
+
 
 def validate_trace_events(payload: Any) -> List[str]:
     """Check a document against the trace-event object format.
@@ -263,6 +271,18 @@ def validate_trace_events(payload: Any) -> List[str]:
                 json.dumps(event["args"])
             except (TypeError, ValueError):
                 problems.append(f"{where}: 'args' is not JSON-serializable")
+        name = event.get("name")
+        needed = _REQUIRED_EVENT_ARGS.get(name) if isinstance(name, str) else None
+        if needed and phase == PHASE_INSTANT:
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: {name!r} event needs args object")
+            else:
+                for key in needed:
+                    if key not in args:
+                        problems.append(
+                            f"{where}: {name!r} event missing arg {key!r}"
+                        )
     return problems
 
 
