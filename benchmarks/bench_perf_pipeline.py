@@ -234,6 +234,48 @@ def run_traced_campaign(
     }
 
 
+def measure_indexed_count_distinct(documents: int = 20_000) -> dict:
+    """Micro-benchmark: indexed vs scanned ``count()``/``distinct()``.
+
+    Builds the responses-shaped collection twice — once with a ``test_id``
+    index, once without — and times the equality queries the campaign hot
+    path issues (progress checks and version enumeration). The indexed
+    variant answers from the index bucket; the scan re-matches every
+    document.
+    """
+    from repro.storage.documentstore import DocumentStore
+
+    def build(indexed: bool):
+        store = DocumentStore()
+        responses = store.collection("responses")
+        if indexed:
+            responses.create_index("test_id")
+        responses.insert_many(
+            [
+                {"test_id": f"t{i % 50}", "worker_id": f"w{i}", "score": i % 5}
+                for i in range(documents)
+            ]
+        )
+        return responses
+
+    def clock(responses, repeats: int = 20) -> float:
+        start = time.perf_counter()
+        for _ in range(repeats):
+            responses.count({"test_id": "t7"})
+            responses.distinct("worker_id", {"test_id": "t7"})
+        return (time.perf_counter() - start) / repeats
+
+    scan_s = clock(build(indexed=False))
+    indexed_s = clock(build(indexed=True))
+    return {
+        "documents": documents,
+        "query": {"test_id": "t7"},
+        "scan_ms": round(scan_s * 1000, 3),
+        "indexed_ms": round(indexed_s * 1000, 3),
+        "speedup": round(scan_s / indexed_s, 1) if indexed_s else None,
+    }
+
+
 def run_pipeline_benchmark(
     participants: int = DEFAULT_PARTICIPANTS,
     parallelism: int = DEFAULT_PARALLELISM,
@@ -267,6 +309,9 @@ def run_pipeline_benchmark(
             "cpu_count": available_cpus(),
             "executor": "thread",
             "chunk_size": resolve_chunk_size(participants, parallelism),
+            # Store micro-benchmark: equality count()/distinct() answered
+            # from the index bucket instead of a full collection scan.
+            "indexed_count_distinct": measure_indexed_count_distinct(),
         },
         "baseline": {
             "description": "uncached rendering, brute-force cascade, sequential",

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro.core.campaign import Campaign
-from repro.core.config import CampaignConfig
+from repro.core.config import STORE_MODES, CampaignConfig
 from repro.core.extension import make_utility_judge
 from repro.core.parameters import TestParameters
 from repro.core.reporting import format_question_tally, format_table
@@ -78,6 +78,9 @@ def _prepare_campaign(args) -> Campaign:
         chunk_size=getattr(args, "chunk_size", None),
         observe=observe,
         arrival=getattr(args, "arrival", None),
+        store=getattr(args, "store", None) or "memory",
+        store_shards=getattr(args, "store_shards", None) or 4,
+        store_directory=getattr(args, "store_directory", None),
     )
     campaign = Campaign(config=config)
     campaign.prepare(
@@ -128,7 +131,7 @@ def cmd_run(args) -> int:
         result = campaign.run(judge, reward_usd=args.reward)
     print(f"Campaign {spec.test_id!r}: {result.participants} participants in "
           f"{result.duration_days * 24:.1f} h for ${result.total_cost_usd:.2f}; "
-          f"quality control kept {len(result.controlled_results)}.")
+          f"quality control kept {result.quality_report.kept_count}.")
     if args.trace_out:
         timeline = campaign.timeline()
         timeline.write_json(args.trace_out)
@@ -144,11 +147,18 @@ def cmd_run(args) -> int:
             block = format_question_tally(tally)
             print("  " + block.replace("\n", "\n  "))
         if len(version_ids) > 2:
-            from repro.core.btmodel import fit_from_results
+            from repro.core.btmodel import fit_bradley_terry, fit_from_results
 
-            fit = fit_from_results(
-                result.controlled_results, question.question_id, version_ids
-            )
+            if campaign.last_streaming is not None:
+                # Streaming mode kept only the sufficient statistics — fit
+                # straight from the folded win counts.
+                fit = fit_bradley_terry(
+                    campaign.last_streaming.controlled_bt[question.question_id]
+                )
+            else:
+                fit = fit_from_results(
+                    result.controlled_results, question.question_id, version_ids
+                )
             print("\n  Bradley-Terry ranking (best first): "
                   + " > ".join(fit.ranking()))
     return 0
@@ -335,6 +345,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(80%% of the roster in a burst — the overload stress case); "
         "default: everyone at once. Unknown modes raise a CampaignError "
         "listing the valid choices",
+    )
+    run.add_argument(
+        "--store", choices=sorted(STORE_MODES), default=None,
+        help="storage/aggregation backend: 'memory' (default, in-RAM store "
+        "+ batch conclude) or 'sharded-streaming' (WAL-backed shards with "
+        "responses spilled to the log and folded into O(pairs) streaming "
+        "sufficient statistics at upload time)",
+    )
+    run.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help="shard count for --store sharded-streaming (default: 4)",
+    )
+    run.add_argument(
+        "--store-directory", default=None, metavar="DIR",
+        help="directory for the sharded store's WALs and snapshots "
+        "(default: in-process memory — streamed but not crash-durable)",
     )
     run.add_argument(
         "--observe", action="store_true",

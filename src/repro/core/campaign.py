@@ -27,13 +27,19 @@ import numpy as np
 from repro.core.aggregator import RESPONSES_COLLECTION, Aggregator, PreparedTest
 from repro.core.analysis import AnalysisBundle, analyze_responses
 from repro.core.conclusion import Conclusion, DegradedConclusion
-from repro.core.config import CampaignConfig, warn_legacy_kwargs
+from repro.core.config import (
+    STREAMING_NETWORK_LOG_LIMIT,
+    CampaignConfig,
+    warn_legacy_kwargs,
+)
 from repro.core.extension import BrowserExtension, JudgeFunction, ParticipantResult
 from repro.core.fanout import run_process_fanout
 from repro.core.integrated import IntegratedWebpage
 from repro.core.parameters import TestParameters
 from repro.core.quality import QualityConfig, QualityControl, QualityReport
+from repro.core.scheduling import all_pairs
 from repro.core.server import CoreServer
+from repro.store import ShardedDocumentStore, StreamingCampaignState
 from repro.crowd.arrivals import arrival_offsets
 from repro.crowd.platform import CrowdJob, CrowdPlatform
 from repro.crowd.workers import WorkerProfile
@@ -77,6 +83,7 @@ _PROFILE_WEIGHTS = (0.25, 0.30, 0.15, 0.20, 0.10)
 _UNSET = object()
 
 
+
 @dataclass
 class CampaignResult:
     """Everything one finished campaign produced.
@@ -103,6 +110,11 @@ class CampaignResult:
     #: any recorded upload losses. ``None`` for inline (non-fan-out) runs,
     #: which have no replayable entropy.
     resume_state: Optional[dict] = None
+    #: Uploaded-participant count for streaming conclusions, whose
+    #: ``raw_results`` stay empty by design (the rows were folded into
+    #: sufficient statistics, never materialized). ``None`` = batch mode,
+    #: where ``len(raw_results)`` is the count.
+    participant_count: Optional[int] = None
 
     @property
     def controlled_results(self) -> List[ParticipantResult]:
@@ -110,6 +122,8 @@ class CampaignResult:
 
     @property
     def participants(self) -> int:
+        if self.participant_count is not None:
+            return self.participant_count
         return len(self.raw_results)
 
     @property
@@ -129,7 +143,7 @@ class CampaignResult:
         return {
             "test_id": self.test_id,
             "participants": self.participants,
-            "kept": len(self.quality_report.kept),
+            "kept": self.quality_report.kept_count,
             "dropped": len(self.quality_report.dropped),
             "duration_days": round(self.duration_days, 4),
             "total_cost_usd": round(self.total_cost_usd, 2),
@@ -213,6 +227,12 @@ class Campaign:
             else SimulatedNetwork(
                 self.env, fault_plan=config.fault_plan,
                 tracer=self.tracer, metrics=self.metrics,
+                # Streaming campaigns bound every O(participants) structure;
+                # the exchange log keeps a recent-window for diagnostics and
+                # the aggregate counts stay in ``stats``.
+                log_limit=STREAMING_NETWORK_LOG_LIMIT
+                if config.streaming
+                else None,
             )
         )
         if network is not None:
@@ -221,8 +241,24 @@ class Campaign:
             if self.obs.enabled:
                 self.network.tracer = self.tracer
                 self.network.metrics = self.metrics
-        self.database = database if database is not None else DocumentStore()
+        if database is not None:
+            self.database = database
+        elif config.streaming:
+            # Responses spill to the shard WALs (their log is their storage);
+            # everything else stays small and in memory as usual.
+            self.database = ShardedDocumentStore(
+                shards=config.store_shards,
+                directory=config.store_directory,
+                spill=(RESPONSES_COLLECTION,),
+                metrics=self.metrics if self.obs.enabled else None,
+            )
+        else:
+            self.database = DocumentStore()
         self.storage = storage if storage is not None else FileStore()
+        # Streaming sufficient statistics + online quality screen, built by
+        # prepare() in streaming mode and fed by the server on every upload.
+        self._streaming_state: Optional[StreamingCampaignState] = None
+        self.last_streaming = None
         self.platform = (
             platform
             if platform is not None
@@ -302,6 +338,25 @@ class Campaign:
         counterbalancing against position bias.
         """
         self._randomize_orientation = randomize_orientation
+        if self.config.streaming and isinstance(
+            self.database, ShardedDocumentStore
+        ):
+            # A disk-backed store that recovered a crashed run's WALs still
+            # holds the old test/integrated records. Re-preparing the same
+            # parameters regenerates them deterministically, so clear the
+            # stale copies (the spilled responses are append-only and stay)
+            # rather than refusing the restart.
+            from repro.core.aggregator import (
+                INTEGRATED_COLLECTION,
+                TESTS_COLLECTION,
+            )
+
+            tests = self.database.collection(TESTS_COLLECTION)
+            if tests.find_one({"test_id": parameters.test_id}) is not None:
+                tests.delete_many({"test_id": parameters.test_id})
+                self.database.collection(INTEGRATED_COLLECTION).delete_many(
+                    {"test_id": parameters.test_id}
+                )
         with self.tracer.span("prepare", category="campaign"):
             self.prepared = self.aggregator.prepare(
                 parameters,
@@ -311,7 +366,52 @@ class Campaign:
                 instructions=instructions,
                 mirror_pairs=randomize_orientation,
             )
+        if self.config.streaming:
+            self._ensure_streaming()
         return self.prepared
+
+    def _ensure_streaming(self) -> None:
+        """Build the streaming state for the prepared test and attach it to
+        the server, then re-fold any rows the store already holds.
+
+        The re-fold covers the two ways rows can predate the state: a
+        disk-backed :class:`~repro.store.sharded.ShardedDocumentStore` that
+        recovered a crashed run's WALs, and an externally shared database.
+        Rows stream in global ``_id`` (upload) order, so the rebuilt
+        aggregates match what an uncrashed run would hold.
+        """
+        prepared = self._require_prepared()
+        questions = len(prepared.parameters.question)
+        comparisons = len(prepared.comparison_pairs())
+        expected_answers = (comparisons + 1) * questions
+        question_ids = [q.question_id for q in prepared.parameters.question]
+        version_ids = [v for v in prepared.version_ids if v != "__contrast__"]
+        state = StreamingCampaignState(
+            prepared.test_id,
+            question_ids,
+            version_ids,
+            all_pairs(version_ids),
+            expected_answers,
+            quality_config=self.config.quality,
+        )
+        for row in self._stream_rows(prepared.test_id):
+            state.ingest_row(row)
+        self._streaming_state = state
+        self.server.attach_streaming(state)
+
+    def _stream_rows(self, test_id: str):
+        """Stored response rows in global ``_id`` (upload) order, streamed.
+
+        Uses the sharded store's lazy WAL replay when available; a plain
+        :class:`DocumentStore` yields its (already ``_id``-ordered) copies.
+        """
+        stream = getattr(self.database, "stream_collection", None)
+        if stream is not None:
+            yield from stream(RESPONSES_COLLECTION, {"test_id": test_id})
+        else:
+            yield from self.database.collection(RESPONSES_COLLECTION).find(
+                {"test_id": test_id}
+            )
 
     # -- step 2+3: post task, recruit, run participants ---------------------------
 
@@ -565,6 +665,13 @@ class Campaign:
         control pair. Single-question tests only.
         """
         prepared = self._require_prepared()
+        if self.config.streaming:
+            raise CampaignError(
+                "adaptive (sorting-based) campaigns are incompatible with "
+                "store='sharded-streaming': each participant answers a "
+                "different pair schedule, so completeness is not a fixed "
+                "expected-answer count the online screen can apply"
+            )
         if len(prepared.parameters.question) != 1:
             raise CampaignError(
                 "sorting-based reduction applies only when one comparison "
@@ -868,6 +975,18 @@ class Campaign:
                 f"root_entropy={root_entropy} was also passed; pass only one"
             )
         prepared = self._require_prepared()
+        store_digest = payload.get("store")
+        if (
+            isinstance(store_digest, dict)
+            and isinstance(self.database, ShardedDocumentStore)
+            and store_digest.get("shards") != self.database.shard_count
+        ):
+            raise CampaignError(
+                f"resume_from checkpoint was written by a "
+                f"{store_digest.get('shards')}-shard store but this campaign "
+                f"runs {self.database.shard_count} shards; hash routing "
+                "would diverge — resume with the original store_shards"
+            )
         responses = self.database.collection(RESPONSES_COLLECTION)
         stored = set(self.server.uploaded_worker_ids(prepared.test_id))
         for row in payload.get("rows") or []:
@@ -877,6 +996,10 @@ class Campaign:
             row = dict(row)
             row.pop("_id", None)
             responses.insert_one(row)
+            # Fold-exactly-once: rows the store already held were folded by
+            # _ensure_streaming; only the newly seeded ones fold here.
+            if self._streaming_state is not None:
+                self._streaming_state.ingest_row(row)
             stored.add(worker_id)
         known = {tuple(item) for item in self.lost_uploads}
         for item in payload.get("lost_uploads") or []:
@@ -1159,8 +1282,19 @@ class Campaign:
         ``quorum`` (fraction of the recruited roster that completed) are
         hard floors: when either is unmet a :class:`~repro.errors.
         CampaignError` is raised instead of concluding on too little data.
+
+        ``quality_config`` defaults to the campaign's
+        ``CampaignConfig.quality``. In streaming mode the thresholds were
+        fixed at prepare time (the online screen already ran); passing a
+        *different* config here raises.
         """
         prepared = self._require_prepared()
+        if self.config.streaming:
+            return self._conclude_streaming(
+                job, duration_days, quality_config, min_participants, quorum
+            )
+        if quality_config is None:
+            quality_config = self.config.quality
         with self.tracer.span("conclude", category="campaign") as cspan:
             raw = self.server.stored_results(prepared.test_id)
             if not raw:
@@ -1255,6 +1389,163 @@ class Campaign:
                 resume_state=self.resume_state(),
             )
 
+    def _conclude_streaming(
+        self,
+        job: Optional[CrowdJob],
+        duration_days: float,
+        quality_config: Optional[QualityConfig],
+        min_participants: Optional[int],
+        quorum: Optional[float],
+    ) -> CampaignResult:
+        """Conclude from the streaming sufficient statistics.
+
+        Decision-identical to the batch path — the online screen already ran
+        the batch screening code per upload, and the conclude pass streams
+        the stored rows once (lazy WAL replay) to finish the majority filter
+        and fold the controlled aggregates — but memory stays O(pairs), not
+        O(participants): ``raw_results`` is empty and the quality report
+        carries worker ids, never results.
+        """
+        prepared = self._require_prepared()
+        state = self._streaming_state
+        if state is None:
+            raise CampaignError(
+                "streaming state missing; prepare() builds it — was the "
+                "campaign prepared with store='sharded-streaming'?"
+            )
+        if quality_config is not None and quality_config != state.quality_config:
+            raise CampaignError(
+                "streaming quality control is fixed at prepare time (the "
+                "online screen already ran with the campaign's config); "
+                "construct the campaign with CampaignConfig(quality=...) "
+                "instead of passing a different quality_config to conclude()"
+            )
+        with self.tracer.span("conclude", category="campaign") as cspan:
+            if state.ingested == 0:
+                raise CampaignError("no responses collected; nothing to conclude")
+            expected_answers = state.expected_answers
+            # Mirror QualityControl.apply's span/metrics/events exactly: the
+            # decisions were made per upload, but the observability contract
+            # is conclude-time.
+            with self.tracer.span(
+                "quality", category="campaign", participants=state.ingested
+            ) as qspan:
+                data = state.conclude(self._stream_rows(prepared.test_id))
+                report = data.report
+                qspan.set_attr("kept", report.kept_count)
+                qspan.set_attr("dropped", len(report.dropped))
+                self.metrics.add("quality.kept", report.kept_count)
+                self.metrics.add("quality.dropped", len(report.dropped))
+                for reason, count in sorted(report.drop_reasons().items()):
+                    self.metrics.add(f"quality.drop.{reason}", count)
+                    self.tracer.event("quality_drop", reason=reason, count=count)
+            with self.tracer.span("analysis", category="campaign"):
+                raw_analysis = data.raw_analysis
+                controlled_analysis = data.controlled_analysis
+            self.last_streaming = data
+            if job is not None and job.participants_recruited:
+                recruited = job.participants_recruited
+            else:
+                recruited = data.uploaded + len(self.lost_uploads)
+            pair_coverage = raw_analysis.answer_coverage()
+            expected_total = recruited * len(pair_coverage)
+            achieved = sum(pair_coverage.values())
+            needs_report = bool(
+                data.abandoned
+                or self.lost_uploads
+                or data.complete < recruited
+                or min_participants is not None
+                or quorum is not None
+            )
+            conclusion_cls = DegradedConclusion if needs_report else Conclusion
+            conclusion = conclusion_cls(
+                recruited=recruited,
+                uploaded=data.uploaded,
+                complete=data.complete,
+                abandoned=data.abandoned,
+                lost_uploads=list(self.lost_uploads),
+                expected_answers=expected_answers,
+                pair_coverage=pair_coverage,
+                min_pair_coverage=raw_analysis.min_coverage(),
+                coverage_fraction=(
+                    min(1.0, achieved / expected_total) if expected_total else 0.0
+                ),
+                min_participants=min_participants,
+                quorum=quorum,
+            )
+            self.metrics.set_gauge("campaign.recruited", recruited)
+            self.metrics.set_gauge("campaign.uploaded", data.uploaded)
+            self.metrics.set_gauge("campaign.complete", data.complete)
+            self.metrics.set_gauge(
+                "campaign.coverage_fraction", round(conclusion.coverage_fraction, 4)
+            )
+            cspan.set_attr("complete", data.complete)
+            cspan.set_attr("uploaded", data.uploaded)
+            cspan.set_attr("degraded", conclusion.is_degraded)
+            self._record_overload_observations()
+            self._record_store_observations()
+            if not conclusion.quorum_met:
+                raise CampaignError(
+                    "campaign degraded below the conclusion floor: "
+                    f"{conclusion.complete}/{conclusion.recruited} complete "
+                    f"(min_participants={min_participants}, quorum={quorum})"
+                )
+            return CampaignResult(
+                test_id=prepared.test_id,
+                raw_results=[],
+                quality_report=report,
+                raw_analysis=raw_analysis,
+                controlled_analysis=controlled_analysis,
+                job=job,
+                duration_days=duration_days,
+                total_cost_usd=job.total_cost_usd if job is not None else 0.0,
+                conclusion=conclusion,
+                resume_state=self.resume_state(),
+                participant_count=data.uploaded,
+            )
+
+    def _record_store_observations(self) -> None:
+        """Export the sharded store's durability counters into the trace +
+        metrics: WAL volume, snapshot/compaction counts, and a per-shard
+        breakdown as span events (mirroring the overload export)."""
+        if not isinstance(self.database, ShardedDocumentStore):
+            return
+        stats = self.database.stats()
+        self.metrics.set_gauge("store.shards", self.database.shard_count)
+        self.metrics.set_gauge("store.wal_records_total", stats["wal_records"])
+        self.metrics.set_gauge("store.wal_bytes", stats["wal_bytes"])
+        self.metrics.set_gauge("store.snapshots_total", stats["snapshots"])
+        self.metrics.set_gauge("store.compactions_total", stats["compactions"])
+        self.metrics.set_gauge(
+            "store.spilled_documents", stats["spilled_documents"]
+        )
+        with self.tracer.span(
+            "store", category="store",
+            shards=self.database.shard_count,
+            documents=stats["documents"],
+        ) as sspan:
+            for shard in stats["shards"]:
+                sspan.add_event(
+                    "store:shard",
+                    time=self.env.now,
+                    shard=shard["shard"],
+                    documents=shard["documents"],
+                    spilled=shard["spilled"],
+                    wal_records=shard["wal_records"],
+                    wal_bytes=shard["wal_bytes"],
+                    snapshots=shard["snapshots"],
+                    compactions=shard["compactions"],
+                )
+            sspan.add_event(
+                "store:totals",
+                time=self.env.now,
+                wal_records=stats["wal_records"],
+                wal_bytes=stats["wal_bytes"],
+                snapshots=stats["snapshots"],
+                compactions=stats["compactions"],
+                spilled=stats["spilled_documents"],
+            )
+
     def _record_overload_observations(self) -> None:
         """Export the overload control plane's run into the trace + metrics.
 
@@ -1311,17 +1602,22 @@ class Campaign:
         if self.last_root_entropy is None:
             return None
         prepared = self._require_prepared()
-        rows = self.database.collection(RESPONSES_COLLECTION).find(
-            {"test_id": prepared.test_id}
-        )
-        for row in rows:
+        rows = []
+        for row in self._stream_rows(prepared.test_id):
             row.pop("_id", None)
-        return {
+            rows.append(row)
+        state = {
             "root_entropy": self.last_root_entropy,
             "completed_worker_ids": [row["worker_id"] for row in rows],
             "rows": rows,
             "lost_uploads": [list(pair) for pair in self.lost_uploads],
         }
+        digest = getattr(self.database, "digest", None)
+        if digest is not None:
+            # Shard-routing fingerprint: a resume over a differently-sharded
+            # store is rejected up front (see _apply_resume_state).
+            state["store"] = digest()
+        return state
 
     # -- observability -----------------------------------------------------------
 

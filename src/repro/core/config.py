@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.crowd.arrivals import ARRIVAL_MODES, validate_arrival_mode
+from repro.core.quality import QualityConfig
 from repro.errors import ValidationError
 from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.net.overload import OverloadConfig
@@ -36,6 +37,20 @@ from repro.util.executors import EXECUTOR_MODES
 
 #: Default core-server hostname (the paper's single-server deployment).
 DEFAULT_HOST = "kaleidoscope.local"
+
+#: Storage/aggregation backends: ``"memory"`` is the historical in-RAM
+#: DocumentStore + batch conclude; ``"sharded-streaming"`` hash-partitions
+#: responses across WAL-backed shards and folds every upload into O(pairs)
+#: sufficient statistics at ingest time (see :mod:`repro.store`).
+STORE_MODES = ("memory", "sharded-streaming")
+
+#: Store mode that streams aggregation instead of batch-scanning responses.
+STORE_SHARDED_STREAMING = "sharded-streaming"
+
+#: Diagnostic-log window for streaming campaigns: the network exchange log
+#: and the server request log keep only the most recent N records, so a
+#: million-participant run carries O(window) diagnostics, not O(requests).
+STREAMING_NETWORK_LOG_LIMIT = 10_000
 
 _DEPRECATION_WARNED = False
 
@@ -117,6 +132,21 @@ class CampaignConfig:
     #: Server-side overload control plane (admission queue, token-bucket
     #: rate limiter, load-shedding ladder); ``None`` = accept everything.
     overload: Optional[OverloadConfig] = None
+    #: Storage/aggregation backend: ``"memory"`` (historical in-RAM store +
+    #: batch conclude) or ``"sharded-streaming"`` (WAL-backed shards with
+    #: responses spilled to the log and folded into streaming sufficient
+    #: statistics at upload time — O(pairs) conclude memory).
+    store: str = "memory"
+    #: Shard count for the ``"sharded-streaming"`` store.
+    store_shards: int = 4
+    #: Directory for the sharded store's WALs + snapshots; ``None`` keeps
+    #: them in process memory (still streamed, not crash-durable).
+    store_directory: Optional[str] = None
+    #: Quality-control thresholds for the campaign. In streaming mode the
+    #: config must be fixed up front (the online screen runs at upload
+    #: time); in memory mode it is the default for ``conclude``'s
+    #: ``quality_config`` argument.
+    quality: Optional[QualityConfig] = None
 
     def __post_init__(self):
         if self.parallelism is not None and self.parallelism < 1:
@@ -147,6 +177,14 @@ class CampaignConfig:
             raise ValidationError("reward_usd must be >= 0")
         if not self.host:
             raise ValidationError("host must be non-empty")
+        if self.store not in STORE_MODES:
+            raise ValidationError(
+                f"store must be one of {STORE_MODES}, got {self.store!r}"
+            )
+        if self.store_shards < 1:
+            raise ValidationError(
+                f"store_shards must be >= 1, got {self.store_shards}"
+            )
         # Raises CampaignError with the valid choices on unknown values.
         validate_arrival_mode(self.arrival)
 
@@ -200,4 +238,12 @@ class CampaignConfig:
             "overload": (
                 None if self.overload is None else self.overload.to_dict()
             ),
+            "store": self.store,
+            "store_shards": self.store_shards,
+            "quality": self.quality is not None,
         }
+
+    @property
+    def streaming(self) -> bool:
+        """True when the campaign aggregates incrementally at upload time."""
+        return self.store == STORE_SHARDED_STREAMING

@@ -74,6 +74,16 @@ class QualityReport:
         return [r.worker_id for r in self.kept]
 
     @property
+    def kept_count(self) -> int:
+        """Surviving-participant count.
+
+        Prefer this over ``len(report.kept)``: streaming reports carry only
+        the kept worker ids (the results were never materialized) and
+        override this to stay truthful with an empty ``kept`` list.
+        """
+        return len(self.kept)
+
+    @property
     def dropped_ids(self) -> List[str]:
         return [d.worker_id for d in self.dropped]
 

@@ -21,6 +21,7 @@ POST   /tasks                          post a prepared test to the crowd platfor
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 from repro.core.aggregator import (
@@ -29,14 +30,37 @@ from repro.core.aggregator import (
     TESTS_COLLECTION,
 )
 from repro.core.analysis import analyze_responses
-from repro.core.config import DEFAULT_HOST
+from repro.core.config import DEFAULT_HOST, STREAMING_NETWORK_LOG_LIMIT
 from repro.core.extension import ParticipantResult
-from repro.errors import StorageError
+from repro.errors import StorageError, ValidationError
 from repro.net.http import IDEMPOTENCY_HEADER, HttpServer, Request, Response, Router
 from repro.net.overload import AdmissionController
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.storage.documentstore import DocumentStore
 from repro.storage.filestore import FileStore
+
+_STORE_KWARG_WARNED = False
+
+
+def _warn_store_kwarg() -> None:
+    """Once-per-process deprecation warning for ``CoreServer(store=...)``."""
+    global _STORE_KWARG_WARNED
+    if _STORE_KWARG_WARNED:
+        return
+    _STORE_KWARG_WARNED = True
+    warnings.warn(
+        "CoreServer(store=...) is deprecated; pass the document store as "
+        "the first positional argument (database=...) — the 'store' name "
+        "now refers to CampaignConfig.store, the storage-backend mode",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_store_kwarg_warning() -> None:
+    """Test hook: re-arm the once-per-process warning."""
+    global _STORE_KWARG_WARNED
+    _STORE_KWARG_WARNED = False
 
 
 class CoreServer:
@@ -44,12 +68,13 @@ class CoreServer:
 
     def __init__(
         self,
-        database: DocumentStore,
-        storage: FileStore,
+        database: Optional[DocumentStore] = None,
+        storage: Optional[FileStore] = None,
         host: Optional[str] = None,
         platform=None,
         config=None,
         metrics=None,
+        store: Optional[DocumentStore] = None,
     ):
         """``config`` is the campaign's :class:`~repro.core.config.
         CampaignConfig`; the server takes its hostname from it unless
@@ -57,16 +82,41 @@ class CoreServer:
         registry for the server-side counters (uploads, dedupe hits,
         resource reads); without an explicitly injected registry the
         counters are skipped, keeping the per-request path free of even
-        no-op accounting."""
+        no-op accounting.
+
+        ``store=`` is a deprecated alias for ``database=`` from before the
+        ``CampaignConfig.store`` backend selector claimed the name; it
+        keeps working with a once-per-process warning."""
+        if store is not None:
+            if database is not None:
+                raise ValidationError(
+                    "pass database= or the deprecated store= alias, not both"
+                )
+            _warn_store_kwarg()
+            database = store
+        if database is None:
+            raise ValidationError("CoreServer requires a database")
+        if storage is None:
+            raise ValidationError("CoreServer requires a storage FileStore")
         if host is None:
             host = config.host if config is not None else DEFAULT_HOST
         self.database = database
+        #: Streaming campaign state attached by a ``sharded-streaming``
+        #: campaign; every accepted upload is folded into it at ingest time.
+        self.streaming = None
         self.storage = storage
         self.platform = platform
         self.config = config
         self._counting = metrics is not None
         self.metrics = metrics if metrics is not None else GLOBAL_METRICS
-        self.http = HttpServer(host, self._build_router())
+        streaming = bool(getattr(config, "streaming", False))
+        self.http = HttpServer(
+            host,
+            self._build_router(),
+            # Streaming campaigns bound every O(requests) diagnostic; the
+            # request log keeps a recent window, aggregates stay in metrics.
+            request_log_limit=STREAMING_NETWORK_LOG_LIMIT if streaming else None,
+        )
         # The overload control plane guards every route when configured.
         # Built purely from the frozen config, so each process-pool worker
         # and fleet redelivery reconstructs an identical controller; the
@@ -77,6 +127,13 @@ class CoreServer:
             self.http.admission = AdmissionController(overload, metrics=metrics)
 
     # -- plumbing ---------------------------------------------------------
+
+    def attach_streaming(self, state) -> None:
+        """Attach a :class:`~repro.store.stream.StreamingCampaignState`.
+
+        From this point every accepted upload for the state's test is folded
+        into its aggregates as part of the POST /responses handler."""
+        self.streaming = state
 
     def _build_router(self) -> Router:
         router = Router()
@@ -187,6 +244,11 @@ class CoreServer:
         if token:
             row["idempotency_key"] = token
         responses.insert_one(row)
+        # Fold-exactly-once: the dedupe paths above already bounced replays
+        # and duplicates, so every row that reaches insert_one is folded into
+        # the streaming sufficient statistics exactly once.
+        if self.streaming is not None and result.test_id == self.streaming.test_id:
+            self.streaming.ingest(result)
         if self._counting:
             self.metrics.add("server.uploads", 1)
         return Response.json_response(
@@ -292,6 +354,12 @@ class CoreServer:
 
     def uploaded_worker_ids(self, test_id: str) -> List[str]:
         """Worker ids with a stored upload — the campaign's resume checkpoint:
-        a crashed run skips these participants instead of re-simulating them."""
-        rows = self.database.collection(RESPONSES_COLLECTION).find({"test_id": test_id})
-        return [row["worker_id"] for row in rows]
+        a crashed run skips these participants instead of re-simulating them.
+
+        ``distinct`` instead of a row scan: the server enforces one row per
+        (test, worker) so the two are equivalent, but distinct is served from
+        the spill index under the sharded store (no log replay) and from the
+        field index in memory mode."""
+        return self.database.collection(RESPONSES_COLLECTION).distinct(
+            "worker_id", {"test_id": test_id}
+        )

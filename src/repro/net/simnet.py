@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -107,6 +108,7 @@ class SimulatedNetwork:
         fault_plan: Optional[FaultPlan] = None,
         tracer=None,
         metrics=None,
+        log_limit: Optional[int] = None,
     ):
         self.env = env
         self.faults = fault_plan if fault_plan is not None else FaultPlan.none()
@@ -116,7 +118,11 @@ class SimulatedNetwork:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else GLOBAL_METRICS
         self._hosts: Dict[str, HttpServer] = {}
-        self.log: List[ExchangeRecord] = []
+        # ``log_limit`` bounds the exchange log to the most recent N records
+        # (aggregate counts live in ``stats`` regardless) — a
+        # million-participant streaming campaign must not keep one
+        # ExchangeRecord per request in memory.
+        self.log = [] if log_limit is None else deque(maxlen=log_limit)
         self.stats = TrafficStats()
         self._exchange_seq = 0
         # Exchanges mutate the log, the stats and the virtual clock; the

@@ -27,6 +27,25 @@ from repro.util.jsonutil import deep_copy_json
 _MISSING = object()
 
 
+def highest_numeric_id(ids: Iterable) -> int:
+    """The largest numeric document id in ``ids`` (0 when there is none).
+
+    Counts both integer ids and all-digit string ids: snapshots that passed
+    through JSON object keys (or an external system) come back as strings,
+    and an auto-id counter that ignores them would hand out ids that collide
+    logically with the stored documents.
+    """
+    highest = 0
+    for doc_id in ids:
+        if isinstance(doc_id, bool):
+            continue
+        if isinstance(doc_id, int):
+            highest = max(highest, doc_id)
+        elif isinstance(doc_id, str) and doc_id.isdigit():
+            highest = max(highest, int(doc_id))
+    return highest
+
+
 def get_path(document: dict, path: str):
     """Resolve a dotted path in a document; returns ``_MISSING`` sentinel absent."""
     current: Any = document
@@ -183,6 +202,19 @@ class Collection:
     def __len__(self) -> int:
         return len(self._documents)
 
+    def restore_id_counter(self) -> None:
+        """Point the auto-id counter past every numeric id already stored.
+
+        Shared by :meth:`DocumentStore.load` and the sharded store's
+        snapshot recovery: after bulk-inserting documents that carry
+        explicit ids, the counter must resume above them — including
+        all-digit *string* ids — or the next auto-assigned id collides
+        with an existing document.
+        """
+        self._id_counter = itertools.count(
+            highest_numeric_id(self._documents) + 1
+        )
+
     # -- indexes ----------------------------------------------------------
 
     def create_index(self, field: str, unique: bool = False) -> None:
@@ -307,6 +339,26 @@ class Collection:
                     return sorted(bucket)
         return None
 
+    def _indexed_equality_bucket(self, query: dict) -> Optional[set]:
+        """The index bucket that *fully* answers ``query``, or ``None``.
+
+        Only a single-clause scalar equality match on an indexed field
+        qualifies: then the bucket's members are exactly the matching
+        documents (index buckets hold only hashable scalar values, with
+        the same array-field semantics ``_candidate_ids`` already uses),
+        so ``count``/``distinct`` can skip per-document matching entirely.
+        A ``None`` condition never qualifies — it also matches documents
+        missing the field, which the index cannot see.
+        """
+        if len(query) != 1:
+            return None
+        (key, condition), = query.items()
+        if key not in self._indexes or condition is None:
+            return None
+        if isinstance(condition, (dict, list)):
+            return None
+        return self._indexes[key].lookup(condition)
+
     def _iter_matching(self, query: dict):
         candidates = self._candidate_ids(query)
         if candidates is None:
@@ -346,13 +398,34 @@ class Collection:
         return None
 
     def count(self, query: Optional[dict] = None) -> int:
-        """Number of matching documents."""
-        return sum(1 for _ in self._iter_matching(query or {}))
+        """Number of matching documents.
+
+        An indexed single-field scalar equality query is answered straight
+        from the index bucket's size — O(1) instead of a scan.
+        """
+        query = query or {}
+        bucket = self._indexed_equality_bucket(query)
+        if bucket is not None:
+            return len(bucket)
+        return sum(1 for _ in self._iter_matching(query))
 
     def distinct(self, field: str, query: Optional[dict] = None) -> List:
-        """Distinct values of ``field`` over matches, in first-seen order."""
+        """Distinct values of ``field`` over matches, in first-seen order.
+
+        An indexed single-field scalar equality query walks the index
+        bucket directly (in ``_id`` order, preserving first-seen order)
+        without re-matching each document.
+        """
+        query = query or {}
+        bucket = self._indexed_equality_bucket(query)
+        if bucket is not None:
+            documents = (
+                self._documents[i] for i in sorted(bucket) if i in self._documents
+            )
+        else:
+            documents = self._iter_matching(query)
         seen = []
-        for document in self._iter_matching(query or {}):
+        for document in documents:
             value = get_path(document, field)
             if value is _MISSING:
                 continue
@@ -407,12 +480,9 @@ class DocumentStore:
         store = cls()
         for name, payload in snapshot.items():
             collection = store.collection(name)
-            max_numeric_id = 0
             for document in payload.get("documents", []):
                 collection.insert_one(document)
-                if isinstance(document.get("_id"), int):
-                    max_numeric_id = max(max_numeric_id, document["_id"])
-            collection._id_counter = itertools.count(max_numeric_id + 1)
+            collection.restore_id_counter()
             for index in payload.get("indexes", []):
                 collection.create_index(index["field"], unique=index["unique"])
         return store

@@ -44,6 +44,24 @@ class TestDumpLoad:
         existing = {d["_id"] for d in restored.collection("responses").find()}
         assert len(existing) == 6  # no collision
 
+    def test_id_counter_counts_digit_string_ids(self):
+        # Snapshots that passed through JSON object keys (or an external
+        # system) carry string ids; the restored counter must not hand out
+        # an id that collides logically with "41".
+        snapshot = {
+            "responses": {
+                "documents": [
+                    {"_id": "41", "worker_id": "w1"},
+                    {"_id": "not-a-number", "worker_id": "w2"},
+                    {"_id": 7, "worker_id": "w3"},
+                ],
+                "indexes": [],
+            }
+        }
+        restored = DocumentStore.load(snapshot)
+        new_id = restored.collection("responses").insert_one({"worker_id": "w4"})
+        assert new_id == 42
+
     def test_dump_is_a_snapshot_not_a_view(self):
         store = seeded_store()
         snapshot = store.dump()
