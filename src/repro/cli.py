@@ -30,6 +30,7 @@ from typing import Dict, Optional
 from repro.core.campaign import Campaign
 from repro.core.config import STORE_MODES, CampaignConfig
 from repro.core.extension import make_utility_judge
+from repro.core.scheduling import SCHEDULER_MODES, warn_legacy_scheduler
 from repro.core.parameters import TestParameters
 from repro.core.reporting import format_question_tally, format_table
 from repro.crowd.judgment import ThurstoneChoiceModel
@@ -71,6 +72,12 @@ def _prepare_campaign(args) -> Campaign:
         # --executor implies fan-out mode; default the worker count to the
         # machine. Safe: fan-out results are identical at any worker count.
         parallelism = available_cpus()
+    scheduler = getattr(args, "scheduler", None)
+    legacy = getattr(args, "adaptive", None)
+    if legacy:
+        warn_legacy_scheduler("the --adaptive flag")
+        if scheduler is None:
+            scheduler = legacy
     config = CampaignConfig(
         seed=args.seed,
         parallelism=parallelism,
@@ -81,6 +88,7 @@ def _prepare_campaign(args) -> Campaign:
         store=getattr(args, "store", None) or "memory",
         store_shards=getattr(args, "store_shards", None) or 4,
         store_directory=getattr(args, "store_directory", None),
+        scheduler=scheduler or "full",
     )
     campaign = Campaign(config=config)
     campaign.prepare(
@@ -113,8 +121,8 @@ def cmd_prepare(args) -> int:
     return 0
 
 
-_SCHEDULERS = {"insertion": "InsertionSortScheduler", "merge": "MergeSortScheduler",
-               "bubble": "BubbleSortScheduler"}
+# Sort modes still accepted by the deprecated ``--adaptive`` flag.
+_LEGACY_SORT_MODES = ("bubble", "insertion", "merge")
 
 
 def cmd_run(args) -> int:
@@ -122,16 +130,12 @@ def cmd_run(args) -> int:
     spec = campaign.prepared.parameters
     utilities = _load_utilities(args.utilities, campaign)
     judge = make_utility_judge(utilities, ThurstoneChoiceModel())
-    if args.adaptive:
-        from repro.core import scheduling
-
-        factory = getattr(scheduling, _SCHEDULERS[args.adaptive])
-        result = campaign.run_adaptive(judge, factory, reward_usd=args.reward)
-    else:
-        result = campaign.run(judge, reward_usd=args.reward)
+    result = campaign.run(judge, reward_usd=args.reward)
     print(f"Campaign {spec.test_id!r}: {result.participants} participants in "
           f"{result.duration_days * 24:.1f} h for ${result.total_cost_usd:.2f}; "
           f"quality control kept {result.quality_report.kept_count}.")
+    if result.early_stop is not None:
+        print(f"  {result.early_stop.summary()}")
     if args.trace_out:
         timeline = campaign.timeline()
         timeline.write_json(args.trace_out)
@@ -317,9 +321,16 @@ def build_parser() -> argparse.ArgumentParser:
         "simulated crowd's judgment model",
     )
     run.add_argument(
+        "--scheduler", choices=SCHEDULER_MODES, default=None,
+        help="comparison scheduler: 'full' (every C(N,2) pair — the "
+        "default), a participant-driven sort ('bubble', 'insertion', "
+        "'merge'), or 'adaptive' (shared information-gain scheduling with "
+        "early stopping); non-'full' modes require single-question tests",
+    )
+    run.add_argument(
         "--adaptive",
-        choices=sorted(_SCHEDULERS),
-        help="use sorting-based comparison reduction (single-question tests)",
+        choices=_LEGACY_SORT_MODES,
+        help="deprecated alias for --scheduler limited to the sort modes",
     )
     run.add_argument(
         "--parallelism", type=int, default=None,

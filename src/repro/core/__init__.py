@@ -12,12 +12,18 @@ from repro.core.loadscript import generate_load_script
 from repro.core.integrated import IntegratedWebpage, compose_integrated_page
 from repro.core.aggregator import Aggregator, TestWebpage, PreparedTest
 from repro.core.scheduling import (
+    SCHEDULER_MODES,
     all_pairs,
+    make_scheduler,
+    scheduler_from_snapshot,
     InsertionSortScheduler,
     BubbleSortScheduler,
     MergeSortScheduler,
     FullPairScheduler,
+    Scheduler,
+    SchedulerConfig,
 )
+from repro.core.adaptive import AdaptiveScheduler, EarlyStoppedConclusion
 from repro.core.extension import BrowserExtension, ParticipantResult
 from repro.core.quality import QualityControl, QualityReport
 from repro.core.server import CoreServer
@@ -45,10 +51,17 @@ __all__ = [
     "TestWebpage",
     "PreparedTest",
     "all_pairs",
+    "make_scheduler",
+    "scheduler_from_snapshot",
+    "SCHEDULER_MODES",
     "InsertionSortScheduler",
     "BubbleSortScheduler",
     "MergeSortScheduler",
     "FullPairScheduler",
+    "Scheduler",
+    "SchedulerConfig",
+    "AdaptiveScheduler",
+    "EarlyStoppedConclusion",
     "BrowserExtension",
     "ParticipantResult",
     "QualityControl",

@@ -18,6 +18,7 @@ spans on virtual clocks, plus a metrics registry — exportable through
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -36,8 +37,16 @@ from repro.core.extension import BrowserExtension, JudgeFunction, ParticipantRes
 from repro.core.fanout import run_process_fanout
 from repro.core.integrated import IntegratedWebpage
 from repro.core.parameters import TestParameters
+from repro.core.adaptive import EarlyStoppedConclusion
 from repro.core.quality import QualityConfig, QualityControl, QualityReport
-from repro.core.scheduling import all_pairs
+from repro.core.scheduling import (
+    SCHEDULER_FULL,
+    Scheduler,
+    all_pairs,
+    make_scheduler,
+    scheduler_class,
+    warn_legacy_scheduler,
+)
 from repro.core.server import CoreServer
 from repro.store import ShardedDocumentStore, StreamingCampaignState
 from repro.crowd.arrivals import arrival_offsets
@@ -115,6 +124,11 @@ class CampaignResult:
     #: sufficient statistics, never materialized). ``None`` = batch mode,
     #: where ``len(raw_results)`` is the count.
     participant_count: Optional[int] = None
+    #: The adaptive scheduler's structured stopping verdict (ranking,
+    #: answers used, stability evidence); ``None`` for every other
+    #: scheduler mode, and for adaptive campaigns concluded before the
+    #: scheduler stopped.
+    early_stop: Optional[EarlyStoppedConclusion] = None
 
     @property
     def controlled_results(self) -> List[ParticipantResult]:
@@ -149,6 +163,7 @@ class CampaignResult:
             "total_cost_usd": round(self.total_cost_usd, 2),
             "degraded": self.is_degraded,
             "conclusion": self.conclusion.to_dict() if self.conclusion else None,
+            "early_stop": self.early_stop.to_dict() if self.early_stop else None,
             "resume": self.resume_state,
         }
 
@@ -311,6 +326,12 @@ class Campaign:
             if config.overload is not None
             else None
         )
+        # Shared comparison scheduler (scheduler="adaptive"): one instance
+        # serves the whole roster, carrying the cross-participant tally.
+        # The snapshot slot holds a resume checkpoint's scheduler state
+        # until the scheduled fan-out restores it.
+        self._shared_scheduler: Optional[Scheduler] = None
+        self._scheduler_snapshot: Optional[dict] = None
         # Root span of the run in progress; participant subtrees are adopted
         # under the innermost open span from the campaign thread.
         self._root_span = None
@@ -472,7 +493,11 @@ class Campaign:
         if quorum is _UNSET:
             quorum = cfg.quorum
         prepared = self._require_prepared()
+        self._check_scheduler_applies(prepared)
         needed = participants or prepared.parameters.participant_num
+        # A shared scheduler serializes the roster (each pair choice depends
+        # on every prior answer), so recruitment only collects the roster.
+        shared = self._scheduler_is_shared()
         with self.tracer.span(
             "campaign", category="campaign", test_id=prepared.test_id,
             mode="recruited", participants=needed,
@@ -481,7 +506,7 @@ class Campaign:
             job = self._post_task(prepared, needed, reward_usd)
             start_time = self.env.now
 
-            if parallelism is None:
+            if parallelism is None and not shared:
                 def on_recruit(worker: WorkerProfile, arrival_time_s: float) -> None:
                     self._run_participant(worker, judge, controls_per_participant)
 
@@ -495,10 +520,15 @@ class Campaign:
 
                 with self.tracer.span("recruitment", category="campaign"):
                     self.platform.run_recruitment(job, on_recruit=on_recruit)
-                self._run_participants_deterministic(
-                    roster, judge, controls_per_participant,
-                    parallelism=parallelism, executor=executor,
-                )
+                if shared:
+                    self._run_participants_shared_scheduler(
+                        roster, judge, controls_per_participant,
+                    )
+                else:
+                    self._run_participants_deterministic(
+                        roster, judge, controls_per_participant,
+                        parallelism=parallelism, executor=executor,
+                    )
             duration_days = (self.env.now - start_time) / SECONDS_PER_DAY
             return self.conclude(
                 job=job, duration_days=duration_days, quality_config=quality_config,
@@ -621,19 +651,26 @@ class Campaign:
             quorum = cfg.quorum
         root_entropy = cfg.root_entropy if root_entropy is _UNSET else root_entropy
         if resume_from is not None:
-            if parallelism is None:
+            if parallelism is None and not self._scheduler_is_shared():
                 raise CampaignError(
                     "resume_from requires the deterministic fan-out mode; "
                     "pass parallelism >= 1"
                 )
             root_entropy = self._apply_resume_state(resume_from, root_entropy)
         prepared = self._require_prepared()
+        self._check_scheduler_applies(prepared)
+        shared = self._scheduler_is_shared()
         with self.tracer.span(
             "campaign", category="campaign", test_id=prepared.test_id,
             mode="roster", participants=len(workers),
         ) as root:
             self._root_span = root
-            if parallelism is None:
+            if shared:
+                self._run_participants_shared_scheduler(
+                    list(workers), judge, controls_per_participant,
+                    in_lab=in_lab, root_entropy=root_entropy,
+                )
+            elif parallelism is None:
                 for worker in workers:
                     self._run_participant(
                         worker, judge, controls_per_participant, in_lab=in_lab
@@ -663,7 +700,14 @@ class Campaign:
         scheduler per participant (e.g. ``InsertionSortScheduler``); each
         participant sees only the pairs their own sort requires, plus one
         control pair. Single-question tests only.
+
+        .. deprecated:: select a scheduler with
+           ``CampaignConfig(scheduler="insertion")`` (or ``"bubble"`` /
+           ``"merge"`` / ``"adaptive"``) and call :meth:`run` instead; this
+           entry point keeps the historical behaviour with a
+           once-per-process warning.
         """
+        warn_legacy_scheduler("Campaign.run_adaptive")
         prepared = self._require_prepared()
         if self.config.streaming:
             raise CampaignError(
@@ -702,6 +746,45 @@ class Campaign:
             return self.conclude(
                 job=job, duration_days=duration_days, quality_config=quality_config
             )
+
+    # -- config-driven comparison scheduling ---------------------------------
+
+    def _check_scheduler_applies(self, prepared: PreparedTest) -> None:
+        """Scheduled campaigns inherit §III-D's single-question restriction:
+        every non-``"full"`` scheduler reduces one comparison question."""
+        if self.config.scheduler == SCHEDULER_FULL:
+            return
+        if len(prepared.parameters.question) != 1:
+            raise CampaignError(
+                "scheduled campaigns (scheduler != 'full') apply only when "
+                "one comparison question is asked (§III-D); this test has "
+                f"{len(prepared.parameters.question)} questions"
+            )
+
+    def _scheduler_is_shared(self) -> bool:
+        """True when the configured scheduler pools state across the whole
+        roster (one instance, sequential dependency chain)."""
+        if self.config.scheduler == SCHEDULER_FULL:
+            return False
+        return bool(scheduler_class(self.config.scheduler).shared)
+
+    def _config_scheduler_factory(self):
+        """Per-participant scheduler factory for the configured mode, or
+        ``None`` for ``"full"`` (historical all-pairs page plan) and for
+        shared modes (which build one campaign-level instance instead).
+
+        Closes over plain picklable values only, so the factory rebuilds
+        identically inside process-pool workers.
+        """
+        cfg = self.config
+        if cfg.scheduler == SCHEDULER_FULL or self._scheduler_is_shared():
+            return None
+        name, sub = cfg.scheduler, cfg.scheduler_config
+
+        def factory(version_ids):
+            return make_scheduler(name, version_ids, sub)
+
+        return factory
 
     def _post_task(
         self, prepared: PreparedTest, needed: int, reward_usd: float
@@ -763,6 +846,7 @@ class Campaign:
         scheduler_factory=None,
         session_start: Optional[float] = None,
         trace_index: int = 0,
+        shared_scheduler: Optional[Scheduler] = None,
     ):
         """One participant's full extension flow, minus the upload.
 
@@ -818,8 +902,13 @@ class Campaign:
                     trace_clock=trace_clock,
                     metrics=self.metrics,
                 )
+                if scheduler_factory is None and shared_scheduler is None:
+                    # Config-driven per-participant scheduling (the redesigned
+                    # axis): sort modes build a fresh scheduler per worker on
+                    # every executor path, including process-pool workers.
+                    scheduler_factory = self._config_scheduler_factory()
                 try:
-                    if scheduler_factory is None:
+                    if scheduler_factory is None and shared_scheduler is None:
                         pages = self._pages_for_participant(
                             prepared, controls_per_participant, rng
                         )
@@ -837,10 +926,15 @@ class Campaign:
                         controls = list(prepared.control_pairs())
                         order = rng.permutation(len(controls))
                         chosen = [controls[i] for i in order[:controls_per_participant]]
+                        scheduler = (
+                            shared_scheduler
+                            if shared_scheduler is not None
+                            else scheduler_factory(version_ids)
+                        )
                         result = extension.run_adaptive_test(
                             prepared.test_id,
                             prepared.parameters.question[0],
-                            scheduler_factory(version_ids),
+                            scheduler,
                             pages_by_pair,
                             control_pages=chosen,
                         )
@@ -1007,6 +1101,9 @@ class Campaign:
             if pair not in known:
                 self.lost_uploads.append(pair)
                 known.add(pair)
+        snapshot = payload.get("scheduler")
+        if snapshot is not None:
+            self._scheduler_snapshot = dict(snapshot)
         return entropy
 
     def _checkpoint(self) -> None:
@@ -1041,6 +1138,135 @@ class Campaign:
         )
         admission.attach_signal(signal)
         self._overload_signal = signal
+
+    def _run_participants_shared_scheduler(
+        self,
+        workers: Sequence[WorkerProfile],
+        judge: JudgeFunction,
+        controls_per_participant: int,
+        in_lab: bool = False,
+        root_entropy: Optional[int] = None,
+    ) -> None:
+        """Run a roster against one campaign-level shared scheduler.
+
+        Every pair the scheduler serves depends on all previously absorbed
+        answers, so the roster is a sequential dependency chain: participants
+        run one at a time in roster order on independent RNG substreams,
+        with uploads and checkpoints after each. The configured ``executor``
+        is deliberately ignored — there is no independent work to overlap,
+        and the sequential chain makes the conclusion trivially identical
+        across executor settings.
+
+        Degradation is an exact inverse on the evidence: a participant who
+        abandons has their unanswered serve released (the comparison is
+        re-offered to the next participant); a participant whose upload is
+        lost, or whom the per-upload quality screen drops, has every
+        absorbed answer retracted from the shared tally.
+
+        The scheduler state rides the campaign checkpoint: ``resume_state``
+        snapshots it after every upload, and a resumed campaign restores the
+        snapshot before continuing — bit-identical to never having stopped.
+        """
+        with self.tracer.span("prewarm", category="campaign"):
+            self._prewarm_artifacts()
+        if root_entropy is None:
+            root_entropy = int(self.rng.integers(0, 2**63))
+        self.last_root_entropy = root_entropy
+        root = np.random.SeedSequence(root_entropy)
+        streams = [np.random.default_rng(s) for s in root.spawn(len(workers))]
+        prepared = self._require_prepared()
+        completed = set(self.server.uploaded_worker_ids(prepared.test_id))
+        pending = [
+            i for i in range(len(workers))
+            if workers[i].worker_id not in completed
+        ]
+        session_start = self.env.now
+        offsets = arrival_offsets(
+            self.config.arrival, len(workers), self.config.seed,
+            reward_usd=self.config.reward_usd,
+        )
+        self._install_overload(offsets, session_start)
+        version_ids = [v for v in prepared.version_ids if v != "__contrast__"]
+        scheduler = make_scheduler(
+            self.config.scheduler, version_ids, self.config.scheduler_config,
+            metrics=self.metrics,
+        )
+        if self._scheduler_snapshot is not None:
+            scheduler.restore(self._scheduler_snapshot)
+            self._scheduler_snapshot = None
+        self._shared_scheduler = scheduler
+        # Expose the scheduler over the server's /schedule routes so a real
+        # extension could drive the same campaign the simulation does.
+        self.server.attach_scheduler(scheduler)
+        with self.tracer.span("fanout", category="campaign",
+                              participants=len(pending)):
+            for i in pending:
+                worker = workers[i]
+                result, client, pspan = self._simulate_participant(
+                    worker, judge, controls_per_participant, streams[i],
+                    in_lab=in_lab,
+                    session_start=session_start + (
+                        offsets[i] if i < len(offsets) else 0.0
+                    ),
+                    trace_index=i,
+                    shared_scheduler=scheduler,
+                )
+                self._adopt(pspan)
+                if getattr(result, "abandoned", False):
+                    # The served-but-unanswered pair goes back to the pool.
+                    scheduler.release(worker.worker_id)
+                _, lost_reason = self._upload_result(client, worker, result)
+                if lost_reason is not None:
+                    # Absorbed answers that were never stored are not
+                    # evidence: remove them so scheduling and conclude see
+                    # the same data.
+                    self._retract_from_scheduler(scheduler, result)
+                elif self._screen_scheduled_upload(result):
+                    self._retract_from_scheduler(scheduler, result)
+                self._checkpoint()
+
+    def _retract_from_scheduler(
+        self, scheduler: Scheduler, result: ParticipantResult
+    ) -> None:
+        """Retract one participant's comparison answers from the tally.
+
+        ``answers_for`` already excludes control pages; unknown versions
+        (the contrast control) are skipped defensively.
+        """
+        prepared = self._require_prepared()
+        question_id = prepared.parameters.question[0].question_id
+        known = set(scheduler.version_ids)
+        for answer in result.answers_for(question_id):
+            if (
+                answer.left_version in known
+                and answer.right_version in known
+                and answer.left_version != answer.right_version
+            ):
+                scheduler.retract(
+                    answer.left_version, answer.right_version, answer.answer
+                )
+
+    def _screen_scheduled_upload(self, result: ParticipantResult) -> bool:
+        """Per-upload quality screen for shared-scheduler campaigns: True
+        when this participant's answers should be retracted.
+
+        Runs only when the campaign has a ``CampaignConfig.quality`` —
+        matching streaming mode, where online screening is opt-in via the
+        same knob. Population-relative layers are disabled (hard-rule
+        completeness is undefined for adaptive budgets; majority vote needs
+        a population), leaving the per-participant engagement and
+        control-question layers.
+        """
+        quality = self.config.quality
+        if quality is None:
+            return False
+        screen = dataclasses.replace(
+            quality, enable_hard_rules=False, enable_majority_vote=False
+        )
+        report = QualityControl(
+            screen, metrics=self.metrics, tracer=self.tracer
+        ).apply([result], 1)
+        return bool(report.dropped)
 
     def _run_participants_deterministic(
         self,
@@ -1300,13 +1526,22 @@ class Campaign:
             if not raw:
                 raise CampaignError("no responses collected; nothing to conclude")
             questions = len(prepared.parameters.question)
-            if getattr(self, "_adaptive_mode", False):
+            sort_scheduled = self.config.scheduler not in (
+                SCHEDULER_FULL, "adaptive"
+            )
+            if getattr(self, "_adaptive_mode", False) or sort_scheduled:
                 # Sorting-based reduction: any correct sort of N versions asks
                 # at least N-1 questions; completeness is that floor + control.
                 version_count = len(
                     [v for v in prepared.version_ids if v != "__contrast__"]
                 )
                 expected_answers = (version_count - 1 + 1) * questions
+            elif self.config.scheduler == "adaptive":
+                # Shared information-gain scheduling: per-participant answer
+                # counts legitimately vary (session budgets, early stop can
+                # leave late arrivals only the control page), so completeness
+                # is just the control floor.
+                expected_answers = 1 * questions
             else:
                 comparisons = len(prepared.comparison_pairs())
                 # Hard-rule completeness: every comparison pair answered for
@@ -1376,6 +1611,10 @@ class Campaign:
                     f"{conclusion.complete}/{conclusion.recruited} complete "
                     f"(min_participants={min_participants}, quorum={quorum})"
                 )
+            early_stop = None
+            if self._shared_scheduler is not None:
+                stop = getattr(self._shared_scheduler, "conclusion", None)
+                early_stop = stop() if callable(stop) else None
             return CampaignResult(
                 test_id=prepared.test_id,
                 raw_results=raw,
@@ -1387,6 +1626,7 @@ class Campaign:
                 total_cost_usd=job.total_cost_usd if job is not None else 0.0,
                 conclusion=conclusion,
                 resume_state=self.resume_state(),
+                early_stop=early_stop,
             )
 
     def _conclude_streaming(
@@ -1612,6 +1852,10 @@ class Campaign:
             "rows": rows,
             "lost_uploads": [list(pair) for pair in self.lost_uploads],
         }
+        if self._shared_scheduler is not None:
+            # The shared scheduler's full decision state rides every
+            # checkpoint; restoring it resumes scheduling bit-identically.
+            state["scheduler"] = self._shared_scheduler.snapshot()
         digest = getattr(self.database, "digest", None)
         if digest is not None:
             # Shard-routing fingerprint: a resume over a differently-sharded

@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional
 
 from repro.crowd.arrivals import ARRIVAL_MODES, validate_arrival_mode
 from repro.core.quality import QualityConfig
+from repro.core.scheduling import SCHEDULER_MODES, SchedulerConfig
 from repro.errors import ValidationError
 from repro.net.faults import CircuitBreakerConfig, FaultPlan, RetryPolicy
 from repro.net.overload import OverloadConfig
@@ -147,6 +148,15 @@ class CampaignConfig:
     #: time); in memory mode it is the default for ``conclude``'s
     #: ``quality_config`` argument.
     quality: Optional[QualityConfig] = None
+    #: Comparison scheduler: ``"full"`` (every C(N, 2) pair — the paper's
+    #: default design), a participant-driven sort (``"bubble"``,
+    #: ``"insertion"``, ``"merge"``), or ``"adaptive"`` (shared
+    #: information-gain scheduling over a Bradley-Terry posterior with
+    #: stability-based early stopping — see :mod:`repro.core.adaptive`).
+    scheduler: str = "full"
+    #: Sub-options for non-``"full"`` schedulers (seed, session budget,
+    #: refit cadence, early-stopping thresholds).
+    scheduler_config: Optional[SchedulerConfig] = None
 
     def __post_init__(self):
         if self.parallelism is not None and self.parallelism < 1:
@@ -184,6 +194,17 @@ class CampaignConfig:
         if self.store_shards < 1:
             raise ValidationError(
                 f"store_shards must be >= 1, got {self.store_shards}"
+            )
+        if self.scheduler not in SCHEDULER_MODES:
+            raise ValidationError(
+                f"scheduler must be one of {SCHEDULER_MODES}, "
+                f"got {self.scheduler!r}"
+            )
+        if self.scheduler != "full" and self.streaming:
+            raise ValidationError(
+                "scheduled campaigns (scheduler != 'full') are incompatible "
+                "with the sharded-streaming store: the streaming screen "
+                "assumes the fixed full-pair page plan"
             )
         # Raises CampaignError with the valid choices on unknown values.
         validate_arrival_mode(self.arrival)
@@ -241,6 +262,11 @@ class CampaignConfig:
             "store": self.store,
             "store_shards": self.store_shards,
             "quality": self.quality is not None,
+            "scheduler": self.scheduler,
+            "scheduler_config": (
+                None if self.scheduler_config is None
+                else self.scheduler_config.to_dict()
+            ),
         }
 
     @property

@@ -233,17 +233,28 @@ class BrowserExtension:
         ``pages_by_pair`` maps ``frozenset({left, right})`` to the stored
         integrated page; when the stored orientation is mirrored relative
         to the scheduler's request, the answer is mirrored back.
+
+        Schedulers that track per-participant state (the redesigned
+        :class:`~repro.core.scheduling.Scheduler` protocol, marked by
+        ``accepts_participants``) are addressed by worker id, so one shared
+        campaign-level scheduler can serve many participants; pre-protocol
+        scheduler objects keep the historical no-argument calls.
         """
         result = ParticipantResult(
             test_id=test_id,
             worker_id=self.worker.worker_id,
             demographics=self.worker.demographics.as_dict(),
         )
+        participant = (
+            (self.worker.worker_id,)
+            if getattr(scheduler, "accepts_participants", False)
+            else ()
+        )
         for control in control_pages:
             self._visit_page(control, [question], result)
         pages_seen = len(control_pages)
         while True:
-            pair = scheduler.next_pair()
+            pair = scheduler.next_pair(*participant)
             if pair is None:
                 break
             self._maybe_drop_out(pages_seen, result)
@@ -257,7 +268,7 @@ class BrowserExtension:
             answer = result.answers[before].answer
             if (page.left_version, page.right_version) == (want_right, want_left):
                 answer = {"left": "right", "right": "left", "same": "same"}[answer]
-            scheduler.report(answer)
+            scheduler.report(answer, *participant)
         return result
 
     # -- one integrated webpage ----------------------------------------------

@@ -16,7 +16,15 @@ GET    /resources/*path                a stored file (integrated page, version)
 POST   /responses                      upload one participant's results
 GET    /results/:test_id               concluded analysis for a test
 POST   /tasks                          post a prepared test to the crowd platform
+GET    /schedule/next/:worker_id       next comparison pair from the shared scheduler
+POST   /schedule/answers               report one answer to the shared scheduler
+GET    /schedule/state                 shared-scheduler progress + current ranking
 ====== ============================== ============================================
+
+The three ``/schedule`` routes answer 503 until a campaign attaches a
+shared comparison scheduler (:meth:`CoreServer.attach_scheduler`); they
+expose the :class:`~repro.core.scheduling.Scheduler` protocol over HTTP so
+that a real (non-simulated) extension could drive an adaptive campaign.
 """
 
 from __future__ import annotations
@@ -104,6 +112,9 @@ class CoreServer:
         #: Streaming campaign state attached by a ``sharded-streaming``
         #: campaign; every accepted upload is folded into it at ingest time.
         self.streaming = None
+        #: Shared comparison scheduler attached by a scheduled campaign;
+        #: serves the ``/schedule`` routes.
+        self.scheduler = None
         self.storage = storage
         self.platform = platform
         self.config = config
@@ -135,6 +146,14 @@ class CoreServer:
         into its aggregates as part of the POST /responses handler."""
         self.streaming = state
 
+    def attach_scheduler(self, scheduler) -> None:
+        """Attach a shared :class:`~repro.core.scheduling.Scheduler`.
+
+        From this point the ``/schedule`` routes serve comparison pairs
+        from — and report answers to — this scheduler. A scheduled campaign
+        attaches its scheduler before the first participant session."""
+        self.scheduler = scheduler
+
     def _build_router(self) -> Router:
         router = Router()
         router.get("/tests/:test_id", self._handle_get_test)
@@ -142,6 +161,9 @@ class CoreServer:
         router.post("/responses", self._handle_post_response)
         router.get("/results/:test_id", self._handle_get_results)
         router.post("/tasks", self._handle_post_task)
+        router.get("/schedule/next/:worker_id", self._handle_schedule_next)
+        router.post("/schedule/answers", self._handle_schedule_answer)
+        router.get("/schedule/state", self._handle_schedule_state)
         return router
 
     @property
@@ -276,6 +298,57 @@ class CoreServer:
                 return f"duplicate answer for {key!r}"
             seen.add(key)
         return ""
+
+    # -- shared comparison scheduling ------------------------------------------
+
+    def _handle_schedule_next(self, request: Request) -> Response:
+        if self.scheduler is None:
+            return Response.json_response(
+                {"error": "no shared scheduler attached"}, status=503
+            )
+        worker_id = request.params["worker_id"]
+        pair = self.scheduler.next_pair(worker_id)
+        if pair is None:
+            return Response.json_response(
+                {"pair": None, "done": self.scheduler.done}
+            )
+        return Response.json_response(
+            {"pair": [pair[0], pair[1]], "done": False}
+        )
+
+    def _handle_schedule_answer(self, request: Request) -> Response:
+        if self.scheduler is None:
+            return Response.json_response(
+                {"error": "no shared scheduler attached"}, status=503
+            )
+        payload = request.json()
+        for key in ("worker_id", "answer"):
+            if key not in payload:
+                return Response.bad_request(f"missing {key!r}")
+        try:
+            self.scheduler.report(payload["answer"], payload["worker_id"])
+        except ValidationError as exc:
+            return Response.bad_request(str(exc))
+        if self._counting:
+            self.metrics.add("server.schedule_answers", 1)
+        return Response.json_response(
+            {"status": "recorded", "done": self.scheduler.done}, status=201
+        )
+
+    def _handle_schedule_state(self, request: Request) -> Response:
+        if self.scheduler is None:
+            return Response.json_response(
+                {"error": "no shared scheduler attached"}, status=503
+            )
+        return Response.json_response(
+            {
+                "scheduler": self.scheduler.name,
+                "done": self.scheduler.done,
+                "comparisons_used": self.scheduler.comparisons_used,
+                "answers": len(self.scheduler.history),
+                "ranking": self.scheduler.ranking(),
+            }
+        )
 
     # -- function 4: conclude results -------------------------------------------
 
